@@ -1,0 +1,47 @@
+"""FSI versus the paper's baselines, wall clock.
+
+The headline comparison: for ``b`` selected block columns FSI must beat
+both the dense DGETRF/DGETRI inversion and the explicit Eq. (3) form on
+real hardware, not just in flop counts.
+"""
+
+import pytest
+
+from repro.core.baselines import full_lu_inverse, lu_selected_inversion
+from repro.core.fsi import fsi
+from repro.core.greens_explicit import explicit_selected_columns
+from repro.core.patterns import Pattern, Selection
+
+
+@pytest.mark.benchmark(group="selected-columns")
+def bench_fsi(benchmark, medium_problem):
+    pc, _, _ = medium_problem
+    benchmark(fsi, pc, 8, Pattern.COLUMNS, 1, None, 1)
+
+
+@pytest.mark.benchmark(group="selected-columns")
+def bench_explicit_form(benchmark, medium_problem):
+    pc, _, _ = medium_problem
+    cols = [8 * i - 1 for i in range(1, pc.L // 8 + 1)]
+    benchmark(explicit_selected_columns, pc, cols)
+
+
+@pytest.mark.benchmark(group="selected-columns")
+def bench_full_lu(benchmark, medium_problem):
+    pc, _, _ = medium_problem
+    sel = Selection(Pattern.COLUMNS, L=pc.L, c=8, q=1)
+    benchmark(lu_selected_inversion, pc, sel)
+
+
+@pytest.mark.benchmark(group="full-inverse")
+def bench_dense_lu_inverse(benchmark, small_problem):
+    pc, _, _ = small_problem
+    benchmark(full_lu_inverse, pc)
+
+
+@pytest.mark.benchmark(group="full-inverse")
+def bench_bsofi_full_inverse(benchmark, small_problem):
+    from repro.core.bsofi import bsofi
+
+    pc, _, _ = small_problem
+    benchmark(bsofi, pc)

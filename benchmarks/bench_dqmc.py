@@ -1,0 +1,56 @@
+"""DQMC engine wall-clock benchmarks: sweeps, Green's bundles, measurements."""
+
+import pytest
+
+from repro.dqmc.engine import DQMC, DQMCConfig
+from repro.dqmc.spxx import spxx
+from repro.hubbard import HubbardModel, RectangularLattice
+
+
+@pytest.fixture(scope="module")
+def sim():
+    model = HubbardModel(RectangularLattice(4, 4), L=16, U=4.0, beta=2.0)
+    return DQMC(
+        model,
+        DQMCConfig(
+            warmup_sweeps=0,
+            measurement_sweeps=0,
+            c=4,
+            nwrap=4,
+            seed=7,
+            num_threads=1,
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="dqmc")
+def bench_sweep(benchmark, sim):
+    benchmark(sim.sweep)
+
+
+@pytest.mark.benchmark(group="dqmc")
+def bench_compute_greens(benchmark, sim):
+    benchmark(sim.compute_greens, 1)
+
+
+@pytest.mark.benchmark(group="dqmc")
+def bench_measure(benchmark, sim):
+    greens = sim.compute_greens(1)
+    benchmark(sim.measure, greens)
+
+
+@pytest.mark.benchmark(group="dqmc")
+def bench_spxx_only(benchmark, sim):
+    greens = sim.compute_greens(1)
+    gu, gd = greens[+1], greens[-1]
+    benchmark(
+        spxx, gu.rows, gu.cols, gd.rows, gd.cols, sim.model.lattice, 1
+    )
+
+
+@pytest.mark.benchmark(group="dqmc")
+def bench_stable_rebuild(benchmark, sim):
+    from repro.dqmc.stabilize import stable_equal_time
+
+    pc = sim.model.build_matrix(sim.field, +1)
+    benchmark(stable_equal_time, pc, 1)

@@ -1,0 +1,134 @@
+"""Wall-clock benchmarks for the extension modules."""
+
+import numpy as np
+import pytest
+
+from repro.apps.trace import exact_trace, hutchinson_trace
+from repro.core.patterns import Pattern
+from repro.core.solve import PCyclicSolver
+from repro.dqmc.engine import DQMC, DQMCConfig
+from repro.hubbard import HubbardModel, RectangularLattice
+from repro.hubbard.checkerboard import CheckerboardPropagator
+from repro.tridiag import fsi_tridiagonal, random_btd, rgf_diagonal
+
+
+@pytest.fixture(scope="module")
+def btd():
+    return random_btd(32, 16, np.random.default_rng(0))
+
+
+@pytest.mark.benchmark(group="tridiag")
+def bench_tridiag_fsi_columns(benchmark, btd):
+    benchmark(fsi_tridiagonal, btd, 8, Pattern.COLUMNS, 1, None, 1)
+
+
+@pytest.mark.benchmark(group="tridiag")
+def bench_tridiag_rgf_diagonal(benchmark, btd):
+    benchmark(rgf_diagonal, btd)
+
+
+@pytest.fixture(scope="module")
+def solver_problem():
+    from repro.core.pcyclic import random_pcyclic
+
+    pc = random_pcyclic(24, 24, np.random.default_rng(1), scale=0.6)
+    return pc, PCyclicSolver(pc), np.ones((pc.shape[0], 4))
+
+
+@pytest.mark.benchmark(group="solve")
+def bench_pcyclic_factor(benchmark, solver_problem):
+    pc, _, _ = solver_problem
+    benchmark(PCyclicSolver, pc)
+
+
+@pytest.mark.benchmark(group="solve")
+def bench_pcyclic_solve(benchmark, solver_problem):
+    _, solver, rhs = solver_problem
+    benchmark(solver.solve, rhs)
+
+
+@pytest.mark.benchmark(group="trace")
+def bench_exact_trace(benchmark, solver_problem):
+    pc, _, _ = solver_problem
+    benchmark(exact_trace, pc, 4)
+
+
+@pytest.mark.benchmark(group="trace")
+def bench_hutchinson_32(benchmark, solver_problem):
+    pc, solver, _ = solver_problem
+    benchmark(hutchinson_trace, pc, 32, 0, solver)
+
+
+@pytest.mark.benchmark(group="checkerboard")
+def bench_checkerboard_apply(benchmark):
+    cb = CheckerboardPropagator(RectangularLattice(8, 8), 1.0, 0.125)
+    X = np.random.default_rng(0).standard_normal((64, 64))
+    benchmark(cb.apply_left, X)
+
+
+@pytest.mark.benchmark(group="checkerboard")
+def bench_exact_kinetic_apply(benchmark):
+    from repro.hubbard.kinetic import KineticPropagator
+
+    kin = KineticPropagator(RectangularLattice(8, 8).adjacency, 1.0, 0.125)
+    X = np.random.default_rng(0).standard_normal((64, 64))
+    benchmark(lambda: kin.forward @ X)
+
+
+@pytest.mark.benchmark(group="dqmc-delayed")
+def bench_sweep_eager(benchmark):
+    model = HubbardModel(RectangularLattice(4, 4), L=16, U=4.0, beta=2.0)
+    sim = DQMC(model, DQMCConfig(c=4, nwrap=4, seed=0, delay=1))
+    benchmark(sim.sweep)
+
+
+@pytest.mark.benchmark(group="dqmc-delayed")
+def bench_sweep_delayed_16(benchmark):
+    model = HubbardModel(RectangularLattice(4, 4), L=16, U=4.0, beta=2.0)
+    sim = DQMC(model, DQMCConfig(c=4, nwrap=4, seed=0, delay=16))
+    benchmark(sim.sweep)
+
+
+@pytest.mark.benchmark(group="complex")
+def bench_fsi_real(benchmark):
+    from repro.core.fsi import fsi
+    from repro.core.pcyclic import random_pcyclic
+
+    pc = random_pcyclic(24, 24, np.random.default_rng(3), scale=0.6)
+    benchmark(fsi, pc, 4, Pattern.COLUMNS, 1, None, 1)
+
+
+@pytest.mark.benchmark(group="complex")
+def bench_fsi_complex(benchmark):
+    from repro.core.fsi import fsi
+    from repro.core.pcyclic import BlockPCyclic
+
+    rng = np.random.default_rng(3)
+    B = (rng.standard_normal((24, 24, 24)) + 1j * rng.standard_normal((24, 24, 24)))
+    pc = BlockPCyclic(B * (0.6 / np.sqrt(24)))
+    benchmark(fsi, pc, 4, Pattern.COLUMNS, 1, None, 1)
+
+
+@pytest.mark.benchmark(group="tdm")
+def bench_szz_tau(benchmark):
+    from repro.dqmc.tdm import szz_tau
+
+    model = HubbardModel(RectangularLattice(4, 4), L=16, U=4.0, beta=2.0)
+    sim = DQMC(model, DQMCConfig(c=4, nwrap=4, seed=1, num_threads=1))
+    b = sim.compute_greens(q=1)
+    benchmark(
+        szz_tau,
+        b[1].rows, b[1].cols, b[-1].rows, b[-1].cols,
+        b[1].full_diagonal, b[-1].full_diagonal,
+        model.lattice, 1,
+    )
+
+
+@pytest.mark.benchmark(group="tdm")
+def bench_local_greens_tau(benchmark):
+    from repro.dqmc.tdm import local_greens_tau
+
+    model = HubbardModel(RectangularLattice(4, 4), L=16, U=4.0, beta=2.0)
+    sim = DQMC(model, DQMCConfig(c=4, nwrap=4, seed=1, num_threads=1))
+    b = sim.compute_greens(q=1)
+    benchmark(local_greens_tau, b[1].rows, b[-1].rows, model.lattice)

@@ -1,0 +1,69 @@
+"""Parallel substrate benchmarks: SimMPI collectives and threaded loops."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import Pattern
+from repro.hubbard import HubbardModel, RectangularLattice
+from repro.parallel.hybrid import HybridConfig, run_fsi_fleet
+from repro.parallel.openmp import parallel_for
+from repro.parallel.simmpi import SimMPI
+
+
+@pytest.mark.benchmark(group="simmpi")
+def bench_collective_roundtrip(benchmark):
+    def world_once():
+        def main(comm):
+            x = comm.bcast(np.ones(1024) if comm.rank == 0 else None)
+            return comm.reduce(float(x.sum()))
+
+        return SimMPI(4).run(main)
+
+    benchmark(world_once)
+
+
+@pytest.mark.benchmark(group="simmpi")
+def bench_buffer_scatter(benchmark):
+    def world_once():
+        def main(comm):
+            send = (
+                np.zeros((comm.size, 64 * 1024))
+                if comm.rank == 0
+                else None
+            )
+            recv = np.empty(64 * 1024)
+            comm.Scatter(send, recv)
+
+        return SimMPI(4).run(main)
+
+    benchmark(world_once)
+
+
+@pytest.mark.benchmark(group="openmp-layer")
+def bench_parallel_for_gemm_bodies(benchmark):
+    rng = np.random.default_rng(0)
+    mats = rng.standard_normal((16, 64, 64))
+    out = np.empty_like(mats)
+
+    def run():
+        parallel_for(
+            lambda i: np.matmul(mats[i], mats[i], out=out[i]),
+            16,
+            num_threads=2,
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="hybrid")
+def bench_fleet_small(benchmark):
+    model = HubbardModel(RectangularLattice(3, 3), L=8, U=2.0, beta=1.0)
+    cfg = HybridConfig(
+        n_matrices=4,
+        n_ranks=2,
+        threads_per_rank=1,
+        c=4,
+        pattern=Pattern.DIAGONAL,
+        seed=0,
+    )
+    benchmark(run_fsi_fleet, model, cfg)

@@ -1,0 +1,97 @@
+"""Wall-clock microbenchmarks of the three FSI stages.
+
+Regenerates the *shape* of Fig. 8 top on the host machine: CLS and WRP
+run at gemm-like rates, BSOFI lower — and the stage costs follow the
+``2b(c-1) : 7b^2 : 3(bL-b^2)`` flop split.
+"""
+
+import pytest
+
+from repro.core.bsofi import bsofi, bsofi_qr
+from repro.core.cls import cls
+from repro.core.fsi import fsi
+from repro.core.patterns import Pattern, Selection
+from repro.core.wrap import wrap
+
+C_SMALL = 4
+C_MEDIUM = 8
+
+
+@pytest.mark.benchmark(group="cls")
+def bench_cls_small(benchmark, small_problem):
+    pc, _, _ = small_problem
+    benchmark(cls, pc, C_SMALL, 1, num_threads=1)
+
+
+@pytest.mark.benchmark(group="cls")
+def bench_cls_medium(benchmark, medium_problem):
+    pc, _, _ = medium_problem
+    benchmark(cls, pc, C_MEDIUM, 1, num_threads=1)
+
+
+@pytest.mark.benchmark(group="cls")
+def bench_cls_large_blocks(benchmark, large_blocks_problem):
+    benchmark(cls, large_blocks_problem, 4, 1, num_threads=1)
+
+
+@pytest.mark.benchmark(group="bsofi")
+def bench_bsofi_qr_only(benchmark, small_problem):
+    pc, _, _ = small_problem
+    reduced = cls(pc, C_SMALL, 1, num_threads=1)
+    benchmark(bsofi_qr, reduced)
+
+
+@pytest.mark.benchmark(group="bsofi")
+def bench_bsofi_small(benchmark, small_problem):
+    pc, _, _ = small_problem
+    reduced = cls(pc, C_SMALL, 1, num_threads=1)
+    benchmark(bsofi, reduced)
+
+
+@pytest.mark.benchmark(group="bsofi")
+def bench_bsofi_medium(benchmark, medium_problem):
+    pc, _, _ = medium_problem
+    reduced = cls(pc, C_MEDIUM, 1, num_threads=1)
+    benchmark(bsofi, reduced)
+
+
+@pytest.mark.benchmark(group="wrp")
+def bench_wrap_columns(benchmark, small_problem):
+    pc, _, _ = small_problem
+    seeds = bsofi(cls(pc, C_SMALL, 1, num_threads=1))
+    sel = Selection(Pattern.COLUMNS, L=pc.L, c=C_SMALL, q=1)
+    benchmark(wrap, pc, seeds, sel, 1)
+
+
+@pytest.mark.benchmark(group="wrp")
+def bench_wrap_rows(benchmark, small_problem):
+    pc, _, _ = small_problem
+    seeds = bsofi(cls(pc, C_SMALL, 1, num_threads=1))
+    sel = Selection(Pattern.ROWS, L=pc.L, c=C_SMALL, q=1)
+    benchmark(wrap, pc, seeds, sel, 1)
+
+
+@pytest.mark.benchmark(group="wrp")
+def bench_wrap_full_diagonal(benchmark, small_problem):
+    pc, _, _ = small_problem
+    seeds = bsofi(cls(pc, C_SMALL, 1, num_threads=1))
+    sel = Selection(Pattern.FULL_DIAGONAL, L=pc.L, c=C_SMALL, q=1)
+    benchmark(wrap, pc, seeds, sel, 1)
+
+
+@pytest.mark.benchmark(group="fsi-end-to-end")
+def bench_fsi_columns_small(benchmark, small_problem):
+    pc, _, _ = small_problem
+    benchmark(fsi, pc, C_SMALL, Pattern.COLUMNS, 1, None, 1)
+
+
+@pytest.mark.benchmark(group="fsi-end-to-end")
+def bench_fsi_columns_medium(benchmark, medium_problem):
+    pc, _, _ = medium_problem
+    benchmark(fsi, pc, C_MEDIUM, Pattern.COLUMNS, 1, None, 1)
+
+
+@pytest.mark.benchmark(group="fsi-end-to-end")
+def bench_fsi_diagonal_medium(benchmark, medium_problem):
+    pc, _, _ = medium_problem
+    benchmark(fsi, pc, C_MEDIUM, Pattern.DIAGONAL, 1, None, 1)

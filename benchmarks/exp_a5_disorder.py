@@ -1,0 +1,91 @@
+"""EXP-A5 — ablation: the disordered Hubbard model through the pipeline.
+
+The paper's motivation cites the DCA milestone on "disorder effects in
+high-T_c superconductors" (ref. [3]); the DQMC counterpart is the
+Hubbard model with a random site potential ``mu_i ~ U(-W/2, W/2)``.
+This experiment sweeps the disorder strength ``W`` and reports
+
+* density inhomogeneity (std of the site-resolved density profile),
+* the correlation between the density profile and the local potential,
+* the disorder-averaged local moment (disorder competes with moment
+  formation on deep/empty sites).
+
+All from real DQMC runs on a 2x2 plaquette with ED cross-checks at
+each disorder realisation.
+
+Run: ``python benchmarks/exp_a5_disorder.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.report import Table, banner
+from repro.dqmc import DQMC, DQMCConfig
+from repro.dqmc.ed import ExactDiagonalization
+from repro.hubbard import HubbardModel, RectangularLattice
+
+
+def run(seed: int = 11) -> Table:
+    rng = np.random.default_rng(seed)
+    table = Table(
+        "EXP-A5: disorder sweep, 2x2 plaquette, U = 4, beta = 2,"
+        " mu_i ~ U(-W/2, W/2)",
+        ["W", "density std", "corr(n_i, mu_i)", "local moment", "|DQMC-ED|"],
+        note="profile tracks the potential; moments survive weak disorder",
+    )
+    for W in (0.0, 0.5, 1.0, 2.0):
+        mu_i = rng.uniform(-W / 2, W / 2, 4) if W > 0 else 0.0
+        model = HubbardModel(
+            RectangularLattice(2, 2), L=16, U=4.0, beta=2.0, mu=mu_i
+        )
+        ed = ExactDiagonalization(model)
+        sim = DQMC(
+            model,
+            DQMCConfig(
+                warmup_sweeps=20,
+                measurement_sweeps=80,
+                c=4,
+                nwrap=4,
+                bin_size=8,
+                seed=seed + int(10 * W),
+                num_threads=1,
+                measure_time_dependent=False,
+                sign_resync_every=20,
+            ),
+        )
+        res = sim.run()
+        # Site-resolved profile from a fresh Green's bundle at the final
+        # configuration (cheap proxy for the full profile average).
+        bundles = sim.compute_greens(q=0)
+        from repro.dqmc import density_profile
+
+        prof = np.mean(
+            [
+                density_profile(
+                    bundles[+1].full_diagonal[(l, l)],
+                    bundles[-1].full_diagonal[(l, l)],
+                )
+                for l in range(1, model.L + 1)
+            ],
+            axis=0,
+        )
+        mu_vec = np.broadcast_to(np.asarray(model.mu, dtype=float), (4,))
+        corr = (
+            float(np.corrcoef(prof, mu_vec)[0, 1]) if W > 0 else float("nan")
+        )
+        dens, _ = res.observable("density")
+        moment, _ = res.observable("local_moment")
+        table.add_row(
+            W,
+            float(np.std(prof)),
+            corr,
+            float(moment),
+            abs(float(dens) - ed.density(2.0)),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(banner("EXP-A5: disordered Hubbard model"))
+    run().print()

@@ -1,0 +1,79 @@
+"""EXP-F10 — Fig. 10: runtime profile on a single Hubbard matrix.
+
+(L, N) = (100, 400), c = 10; both equal-time and time-dependent
+measurements consume all diagonal blocks, b block rows and b block
+columns of each spin's Green's function.
+
+Paper anchors: MKL threading cuts the Green's-function time but
+*increases* the measurement time (sequential code in a threaded
+process); FSI + OpenMP uses ~87% less CPU time than serial for
+Green's functions + measurements combined.
+
+The modeled profile uses the Edison model; the scaled-down real run
+exercises the same compute path (FSI bundle + SPXX + equal-time
+measurements) through the DQMC engine's timers.
+
+Run: ``python benchmarks/exp_f10_profile.py``
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import Table, banner
+from repro.dqmc.engine import DQMC, DQMCConfig
+from repro.hubbard import HubbardModel, RectangularLattice
+from repro.perf.model import greens_time, measurement_time
+
+
+def modeled_profile(N: int = 400, L: int = 100, c: int = 10) -> Table:
+    table = Table(
+        f"EXP-F10: modeled single-matrix profile, (L, N) = ({L}, {N}), c = {c}",
+        ["execution", "greens s", "measurement s", "total s", "vs serial"],
+        note="paper: MKL cuts greens but inflates measurement; OpenMP"
+        " ~87% total reduction",
+    )
+    rows = [("serial", 1, "serial"), ("MKL 12t", 12, "mkl"), ("OpenMP 12t", 12, "openmp")]
+    serial_total = None
+    for label, t, mode in rows:
+        g = greens_time(N, L, c, t, mode)
+        m = measurement_time(N, L, c, t, mode)
+        total = g + m
+        if serial_total is None:
+            serial_total = total
+        table.add_row(label, g, m, total, f"{total / serial_total:.2f}x")
+    return table
+
+
+def real_profile(seed: int = 11) -> Table:
+    """Measured greens/measurement split on this host (scaled)."""
+    model = HubbardModel(RectangularLattice(4, 4), L=24, U=4.0, beta=2.0)
+    sim = DQMC(
+        model,
+        DQMCConfig(
+            warmup_sweeps=0,
+            measurement_sweeps=3,
+            c=4,
+            nwrap=6,
+            bin_size=1,
+            seed=seed,
+            num_threads=1,
+        ),
+    )
+    res = sim.run()
+    per_iter_g = res.greens_seconds / 3
+    per_iter_m = res.measurement_seconds / 3
+    table = Table(
+        "EXP-F10 (real, this host): per-measurement-iteration profile,"
+        " (N, L, c) = (16, 24, 4)",
+        ["component", "seconds/iter", "share"],
+    )
+    total = per_iter_g + per_iter_m
+    table.add_row("Green's function (FSI bundle)", per_iter_g, per_iter_g / total)
+    table.add_row("physical measurements", per_iter_m, per_iter_m / total)
+    table.add_row("total", total, 1.0)
+    return table
+
+
+if __name__ == "__main__":
+    print(banner("EXP-F10: single-matrix runtime profile (Fig. 10)"))
+    modeled_profile().print()
+    real_profile().print()

@@ -1,0 +1,104 @@
+"""EXP-F11 — Fig. 11: full DQMC simulation runtime.
+
+(N, L) = (400, 100), (w, m) = (100, 200), c = 10, MKL vs OpenMP at
+1, 6, 12 threads on one Ivy Bridge socket.
+
+Paper anchors: serial takes ~3.5 h with ~80% in Green's functions +
+measurements; FSI/OpenMP gains 6.9x from 1 to 12 cores while MKL gains
+only 1.3x; the full simulation drops to ~40 minutes.
+
+The modeled table uses the Edison model.  A real scaled-down DQMC run
+(the actual engine, Alg. 4 end to end) is executed afterwards and its
+component split printed — that run also doubles as the physics sanity
+check (half filling, suppressed double occupancy).
+
+Run: ``python benchmarks/exp_f11_dqmc.py``
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import Table, banner
+from repro.dqmc.engine import DQMC, DQMCConfig
+from repro.hubbard import HubbardModel, RectangularLattice
+from repro.perf.model import dqmc_runtime
+
+
+def modeled_runtime(
+    N: int = 400, L: int = 100, c: int = 10, w: int = 100, m: int = 200
+) -> Table:
+    table = Table(
+        f"EXP-F11: modeled DQMC runtime, (N, L) = ({N}, {L}),"
+        f" (w, m) = ({w}, {m}), c = {c}",
+        [
+            "execution",
+            "sweeps s",
+            "greens s",
+            "meas s",
+            "total min",
+            "speedup",
+            "G+M share",
+        ],
+        note="paper: 3.5 h serial (~80% in G+M) -> 40 min with"
+        " OpenMP-12; MKL helps only marginally",
+    )
+    base = dqmc_runtime(N, L, c, w, m, 1, "serial")
+    rows = [("serial 1t", 1, "serial")]
+    rows += [(f"MKL {t}t", t, "mkl") for t in (6, 12)]
+    rows += [(f"OpenMP {t}t", t, "openmp") for t in (6, 12)]
+    for label, t, mode in rows:
+        r = dqmc_runtime(N, L, c, w, m, t, mode)
+        table.add_row(
+            label,
+            r.sweep_seconds,
+            r.greens_seconds,
+            r.measurement_seconds,
+            r.total_seconds / 60,
+            base.total_seconds / r.total_seconds,
+            r.greens_and_meas_fraction,
+        )
+    return table
+
+
+def real_run(seed: int = 5) -> Table:
+    """A real full DQMC simulation at laptop scale."""
+    model = HubbardModel(RectangularLattice(4, 4), L=16, U=4.0, beta=2.0)
+    sim = DQMC(
+        model,
+        DQMCConfig(
+            warmup_sweeps=4,
+            measurement_sweeps=8,
+            c=4,
+            nwrap=4,
+            bin_size=2,
+            seed=seed,
+            num_threads=1,
+        ),
+    )
+    res = sim.run()
+    table = Table(
+        "EXP-F11 (real, this host): full DQMC, 4x4 lattice, L=16,"
+        " U=4, beta=2, (w, m) = (4, 8)",
+        ["quantity", "value"],
+    )
+    table.add_row("sweep seconds", res.sweep_seconds)
+    table.add_row("greens seconds", res.greens_seconds)
+    table.add_row("measurement seconds", res.measurement_seconds)
+    gm = res.greens_seconds + res.measurement_seconds
+    table.add_row("G+M share", gm / (gm + res.sweep_seconds))
+    table.add_row("acceptance rate", res.acceptance_rate)
+    table.add_row("max wrap drift", res.max_wrap_drift)
+    table.add_row("density (should be 1)", float(res.observable("density")[0]))
+    table.add_row(
+        "double occupancy (< 0.25)",
+        float(res.observable("double_occupancy")[0]),
+    )
+    table.add_row(
+        "local moment (> 0.5)", float(res.observable("local_moment")[0])
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(banner("EXP-F11: full DQMC simulation runtime (Fig. 11)"))
+    modeled_runtime().print()
+    real_run().print()

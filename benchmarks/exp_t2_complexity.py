@@ -1,0 +1,80 @@
+"""EXP-T2 — the Sec. II-C table: explicit-form vs FSI flop counts.
+
+Regenerates::
+
+    Selected inv.  | Explicit form | FSI
+    b diagonals    | 2 b^2 c N^3   | [2(c-1)+7b] b N^3
+    b-1 sub-diag.  | 4 b^2 c N^3   | [2c+7b] b N^3
+    b cols/rows    | b^3 c^2 N^3   | 3 b^2 c N^3
+
+at the paper geometry, and then *validates the formulas against
+measured kernel flop counts* on a scaled-down problem (the tracer
+counts every gemm/solve/QR the real code performs).
+
+Run: ``python benchmarks/exp_t2_complexity.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.report import Table, banner
+from repro.core.flops import complexity_table, explicit_form_flops, fsi_table_flops
+from repro.core.fsi import fsi
+from repro.core.greens_explicit import explicit_selected_columns
+from repro.core.patterns import Pattern
+from repro.core.pcyclic import random_pcyclic
+from repro.perf.tracer import FlopTracer
+
+
+def formula_table(L: int = 100, N: int = 1000, c: int = 10) -> Table:
+    table = Table(
+        f"EXP-T2: Sec. II-C complexity table (N={N}, L={L}, c={c})",
+        ["pattern", "explicit flops", "FSI flops", "speedup"],
+        note="speedup = explicit / FSI; paper quotes bc/3 for columns",
+    )
+    for row in complexity_table(L, N, c):
+        table.add_row(
+            row.pattern.value, row.explicit_flops, row.fsi_flops, row.speedup
+        )
+    return table
+
+
+def measured_table(L: int = 24, N: int = 24, c: int = 4, seed: int = 0) -> Table:
+    """Measured kernel flops vs the leading-order formulas."""
+    pc = random_pcyclic(L, N, np.random.default_rng(seed), scale=0.6)
+    b = L // c
+    cols = [c * i - 1 for i in range(1, b + 1)]
+
+    with FlopTracer() as t_explicit:
+        explicit_selected_columns(pc, cols)
+    with FlopTracer() as t_fsi:
+        fsi(pc, c, pattern=Pattern.COLUMNS, q=1, num_threads=1)
+
+    table = Table(
+        f"EXP-T2 (measured): b={b} block columns at (N, L, c)=({N}, {L}, {c})",
+        ["method", "measured flops", "table formula", "measured/formula"],
+        note="measured includes the lower-order LU/QR terms the table drops;"
+        " our explicit baseline also reuses W factors (so it beats the"
+        " naive b^3c^2 bound while staying O(bL^2 N^3))",
+    )
+    ef = explicit_form_flops(L, N, c, Pattern.COLUMNS)
+    ff = fsi_table_flops(L, N, c, Pattern.COLUMNS)
+    table.add_row(
+        "explicit (Eq. 3)", t_explicit.total_flops, ef, t_explicit.total_flops / ef
+    )
+    table.add_row("FSI", t_fsi.total_flops, ff, t_fsi.total_flops / ff)
+    table.add_row(
+        "measured speedup",
+        t_explicit.total_flops / t_fsi.total_flops,
+        ef / ff,
+        (t_explicit.total_flops / t_fsi.total_flops) / (ef / ff),
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(banner("EXP-T2: Sec. II-C flop complexity, formulas + measured"))
+    formula_table().print()
+    measured_table().print()
+    measured_table(L=48, N=16, c=8, seed=1).print()

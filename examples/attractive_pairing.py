@@ -1,0 +1,72 @@
+"""The attractive Hubbard model: s-wave pairing without a sign problem.
+
+Negative-U DQMC decouples the interaction in the *charge* channel: both
+spins share one Green's function and the configuration weight
+``e^{-nu sum(h)} det(M)^2`` is non-negative at **any** filling — the
+workhorse model for s-wave superconductivity studies.
+
+This example
+
+1. runs attractive-U DQMC and validates density/double occupancy
+   against exact diagonalisation on a 2x2 plaquette;
+2. shows pairing enhancement: <n_up n_dn> far above the uncorrelated
+   value, strengthening as the temperature drops;
+3. dopes the system (mu != 0) and confirms the average sign stays
+   exactly +1.
+
+Run: ``python examples/attractive_pairing.py`` (~30 s serial)
+"""
+
+import numpy as np
+
+from repro import DQMC, DQMCConfig, HubbardModel, RectangularLattice
+from repro.dqmc.ed import ExactDiagonalization
+
+
+def run(beta: float, L: int, mu: float = 0.0, sweeps=(20, 120), seed=4):
+    model = HubbardModel(RectangularLattice(2, 2), L=L, t=1.0, U=-4.0,
+                         beta=beta, mu=mu)
+    sim = DQMC(
+        model,
+        DQMCConfig(
+            warmup_sweeps=sweeps[0],
+            measurement_sweeps=sweeps[1],
+            c=4,
+            nwrap=4,
+            bin_size=10,
+            seed=seed,
+            num_threads=1,
+            measure_time_dependent=False,
+        ),
+    )
+    return model, sim.run()
+
+
+# 1. ED validation at half filling.
+model, res = run(beta=2.0, L=16)
+ed = ExactDiagonalization(model)
+print("attractive U = -4, 2x2 plaquette, beta = 2 (half filling):")
+for name, ref in (
+    ("density", ed.density(2.0)),
+    ("double_occupancy", ed.double_occupancy(2.0)),
+):
+    mean, err = res.observable(name)
+    print(f"  {name:18s} DQMC {float(mean):+.4f} +- {float(err):.4f}"
+          f"   ED {ref:+.4f}")
+    assert abs(float(mean) - ref) < max(4 * float(err), 0.03)
+
+# 2. Pairing enhancement with cooling.
+print("\npair binding strengthens as T drops (uncorrelated value 0.25):")
+for beta, L in ((0.5, 4), (1.0, 8), (2.0, 16)):
+    _, r = run(beta=beta, L=L, sweeps=(10, 60))
+    docc, err = r.observable("double_occupancy")
+    print(f"  beta = {beta:3.1f}: <n_up n_dn> = {float(docc):.4f} +- {float(err):.4f}")
+
+# 3. Doped: no sign problem.
+_, r = run(beta=2.0, L=16, mu=0.6, sweeps=(10, 40))
+dens, _ = r.observable("density")
+print(f"\ndoped (mu = 0.6): density {float(dens):.4f},"
+      f" average sign {r.average_sign:.4f} (exactly +1: sign-free)")
+assert r.average_sign == 1.0
+assert float(dens) > 1.0
+print("\nOK — attractive-model physics reproduced without a sign problem.")

@@ -1,0 +1,72 @@
+"""The disordered Hubbard model: site-resolved physics.
+
+Random site potentials break translation invariance, so the interesting
+observables become *profiles*: where does the density pool, where do
+local moments survive?  This example runs DQMC on a 4x4 lattice with a
+box-disordered potential, prints the site-resolved density and moment
+profiles as sparklines next to the potential landscape, and checks the
+density–potential correlation.
+
+Run: ``python examples/disorder_profiles.py`` (~30 s serial)
+"""
+
+import numpy as np
+
+from repro import DQMC, DQMCConfig, HubbardModel, RectangularLattice
+from repro.bench.ascii_chart import sparkline
+from repro.dqmc import density_profile, moment_profile
+
+rng = np.random.default_rng(2024)
+LAT = RectangularLattice(4, 4)
+W = 2.0
+mu_i = rng.uniform(-W / 2, W / 2, LAT.nsites)
+
+model = HubbardModel(LAT, L=16, t=1.0, U=4.0, beta=2.0, mu=mu_i)
+print(f"4x4 disordered Hubbard: U = 4, beta = 2, box disorder W = {W}")
+
+sim = DQMC(
+    model,
+    DQMCConfig(
+        warmup_sweeps=10,
+        measurement_sweeps=30,
+        c=4,
+        nwrap=4,
+        bin_size=5,
+        seed=7,
+        num_threads=1,
+        measure_time_dependent=False,
+        sign_resync_every=10,
+    ),
+)
+res = sim.run()
+print(f"acceptance {res.acceptance_rate:.3f}, average sign {res.average_sign:.3f}")
+
+# Site-resolved profiles, averaged over slices of the final bundle and
+# a handful of configurations along the tail of the chain.
+profiles_n, profiles_m = [], []
+for _ in range(5):
+    sim.sweep()
+    bundles = sim.compute_greens(q=0)
+    for l in range(1, model.L + 1):
+        gu = bundles[+1].full_diagonal[(l, l)]
+        gd = bundles[-1].full_diagonal[(l, l)]
+        profiles_n.append(density_profile(gu, gd))
+        profiles_m.append(moment_profile(gu, gd))
+n_i = np.mean(profiles_n, axis=0)
+m_i = np.mean(profiles_m, axis=0)
+
+print("\nsite-resolved landscape (16 sites, row-major):")
+print(f"  potential mu_i : {sparkline(mu_i)}   [{mu_i.min():+.2f} .. {mu_i.max():+.2f}]")
+print(f"  density  <n_i> : {sparkline(n_i)}   [{n_i.min():.3f} .. {n_i.max():.3f}]")
+print(f"  moment <m_i^2> : {sparkline(m_i)}   [{m_i.min():.3f} .. {m_i.max():.3f}]")
+
+corr_n = float(np.corrcoef(n_i, mu_i)[0, 1])
+corr_m = float(np.corrcoef(m_i, np.abs(mu_i))[0, 1])
+print(f"\ncorr(density, potential)      = {corr_n:+.3f}  (deep wells fill up)")
+print(f"corr(moment, |potential|)     = {corr_m:+.3f}  (moments die on extreme sites)")
+assert corr_n > 0.7, "density must track the potential"
+assert corr_m < 0.0, "local moments are largest near half-filled (mu ~ 0) sites"
+
+total_density = float(res.observable("density")[0])
+print(f"\nmean density {total_density:.4f} (clean half filling would be 1)")
+print("OK — disordered profiles behave as the physics demands.")

@@ -1,0 +1,69 @@
+"""A full DQMC simulation of the half-filled Hubbard model.
+
+Runs Alg. 4 end to end on a 4x4 lattice — warmup sweeps, measurement
+sweeps with FSI-computed Green's functions, equal-time observables with
+jackknife error bars, and the time-dependent SPXX spin correlation —
+then prints a small physics report.
+
+Expected physics at half filling (mu = 0), U = 4, beta = 2:
+
+* density exactly 1 (particle-hole symmetry, no sign problem);
+* double occupancy well below the uncorrelated 0.25;
+* local moment enhanced above the free-fermion 0.5;
+* antiferromagnetic tendency: S^zz changes sign between distance
+  classes 0 and 1 (opposite sublattices anti-align).
+
+Run: ``python examples/dqmc_hubbard.py`` (~20 s serial)
+"""
+
+import numpy as np
+
+from repro import DQMC, DQMCConfig, HubbardModel, RectangularLattice
+
+model = HubbardModel(
+    RectangularLattice(4, 4), L=16, t=1.0, U=4.0, beta=2.0, mu=0.0
+)
+print(f"model: 4x4 lattice, L={model.L}, U={model.U}, beta={model.beta}")
+print(f"dtau = {model.dtau:.4f}, HS coupling nu = {model.nu:.4f}")
+
+sim = DQMC(
+    model,
+    DQMCConfig(
+        warmup_sweeps=10,
+        measurement_sweeps=20,
+        c=4,            # cluster size for the measurement FSI
+        nwrap=4,        # stabilised rebuild cadence
+        bin_size=4,
+        seed=2016,
+        num_threads=1,
+    ),
+)
+result = sim.run()
+
+print(f"\nacceptance rate: {result.acceptance_rate:.3f}")
+print(f"average sign:    {result.average_sign:.3f}  (half filling: +1)")
+print(f"max wrap drift:  {result.max_wrap_drift:.2e}  (stability check)")
+print(
+    f"timings: sweeps {result.sweep_seconds:.2f}s,"
+    f" Green's functions {result.greens_seconds:.2f}s,"
+    f" measurements {result.measurement_seconds:.2f}s"
+)
+
+print("\nequal-time observables (jackknife errors):")
+for name in ("density", "double_occupancy", "kinetic_energy", "local_moment"):
+    mean, err = result.observable(name)
+    print(f"  {name:18s} = {float(mean):+.4f} +- {float(err):.4f}")
+
+szz, szz_err = result.observable("szz")
+print("\nequal-time spin correlation S^zz by distance class:")
+radii = model.lattice.distance_classes[1]
+for d in range(min(4, len(radii))):
+    print(
+        f"  r = {radii[d]:4.2f}: {szz[d]:+.4f} +- {szz_err[d]:.4f}"
+    )
+assert szz[0] > 0 > szz[1], "expected antiferromagnetic nearest-neighbor sign"
+
+print("\ntime-dependent SPXX (tau = 0 row, first distance classes):")
+assert result.spxx_mean is not None
+print("  " + "  ".join(f"{v:+.4f}" for v in result.spxx_mean[0, :4]))
+print("\nOK — half-filled Hubbard physics reproduced.")

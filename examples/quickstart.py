@@ -1,0 +1,39 @@
+"""Quickstart: selected inversion of a Hubbard matrix in ten lines.
+
+Builds a block p-cyclic Hubbard matrix, computes ``b`` selected block
+columns of its inverse (the Green's function) with FSI, and verifies
+them against a dense inversion — the same validation the paper runs in
+Sec. V-A, at friendly size.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import Pattern, build_hubbard_matrix, fsi, full_lu_inverse
+
+# 1. A Hubbard matrix: 6x6 periodic lattice (N = 36 sites), L = 32 time
+#    slices, hopping t = 1, repulsion U = 2, inverse temperature beta = 1.
+M, model, field = build_hubbard_matrix(6, 6, L=32, t=1.0, U=2.0, beta=1.0, rng=0)
+print(f"Hubbard matrix: {M!r}")
+
+# 2. Fast selected inversion: cluster size c = sqrt(L), block columns.
+result = fsi(M, c=8, pattern=Pattern.COLUMNS, rng=0)
+sel = result.selected
+print(
+    f"selected {len(sel)} blocks of G = M^-1"
+    f" ({sel.selection.pattern.value}, q = {sel.selection.q});"
+    f" memory reduction {sel.selection.reduction_factor():.0f}x"
+)
+
+# 3. Use a block: G_{k,l} is the propagator from time slice l to k.
+l = sel.selection.seeds[0]
+G_block = sel[(5, l)]
+print(f"G[5, {l}] has shape {G_block.shape}, trace {np.trace(G_block):+.6f}")
+
+# 4. Verify against the dense LAPACK inverse (the paper's oracle).
+G_dense = full_lu_inverse(M)
+err = sel.max_relative_error(G_dense)
+print(f"max blockwise relative error vs dense inverse: {err:.2e}")
+assert err < 1e-10, "selected inversion disagrees with the dense oracle"
+print("OK — matches the dense inverse to better than 1e-10 (Sec. V-A)")

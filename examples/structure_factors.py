@@ -1,0 +1,71 @@
+"""Momentum-space magnetism: the AFM structure factor from DQMC.
+
+The classic half-filled-Hubbard result: as the temperature drops, the
+spin structure factor develops a peak at the antiferromagnetic wave
+vector ``q = (pi, pi)``.  This example
+
+1. runs DQMC with the *extended* measurement set (charge/pairing
+   correlators, ``S(pi, pi)``, ``G_loc(tau)`` and ``szz(tau, d)``);
+2. lifts the distance-binned ``szz`` to momentum space over the full
+   Brillouin-zone grid and prints the ``S(q)`` landscape;
+3. demonstrates the temperature dependence of the AFM peak.
+
+Run: ``python examples/structure_factors.py`` (~1 min serial)
+"""
+
+import numpy as np
+
+from repro import DQMC, DQMCConfig, HubbardModel, RectangularLattice
+from repro.dqmc.fourier import from_distance_classes, lattice_momenta, structure_factor_grid
+
+LAT = RectangularLattice(4, 4)
+
+
+def run_at_beta(beta: float, L: int, seed: int = 7):
+    model = HubbardModel(LAT, L=L, t=1.0, U=4.0, beta=beta)
+    sim = DQMC(
+        model,
+        DQMCConfig(
+            warmup_sweeps=6,
+            measurement_sweeps=12,
+            c=4,
+            nwrap=4,
+            bin_size=3,
+            seed=seed,
+            num_threads=1,
+            measure_extended=True,
+        ),
+    )
+    return model, sim.run()
+
+
+model, res = run_at_beta(beta=3.0, L=24)
+szz, szz_err = res.observable("szz")
+s_afm, s_afm_err = res.observable("s_afm")
+g_loc, _ = res.observable("g_loc_tau")
+
+print("extended observables at beta = 3, U = 4 (4x4 lattice):")
+print(f"  S(pi, pi)          = {float(s_afm):.4f} +- {float(s_afm_err):.4f}")
+charge, _ = res.observable("charge_corr")
+pairing, _ = res.observable("pairing_corr")
+print(f"  charge corr (r=0)  = {charge[0]:+.4f}   (r=1) {charge[1]:+.4f}")
+print(f"  pairing corr (r=0) = {pairing[0]:+.4f}   (r=1) {pairing[1]:+.4f}")
+print(f"  G_loc(tau):   {'  '.join(f'{g:.3f}' for g in np.asarray(g_loc)[::4])}")
+
+# Momentum-space landscape from the distance-binned szz.
+C = from_distance_classes(np.asarray(szz), LAT)
+momenta, S = structure_factor_grid(C, LAT)
+print("\nS(q) over the 4x4 Brillouin-zone grid (rows: qy, cols: qx):")
+grid = S.reshape(LAT.ny, LAT.nx)
+for row in grid:
+    print("  " + "  ".join(f"{v:6.3f}" for v in row))
+pi_idx = next(i for i, q in enumerate(momenta) if np.allclose(q, [np.pi, np.pi]))
+assert S[pi_idx] == S.max(), "AFM point should dominate at half filling"
+print(f"\npeak at q = (pi, pi): S = {S[pi_idx]:.3f} (grid maximum)")
+
+print("\ncooling the system strengthens the AFM peak:")
+for beta, L in ((1.0, 8), (2.0, 16), (3.0, 24)):
+    _, r = run_at_beta(beta, L)
+    m, e = r.observable("s_afm")
+    print(f"  beta = {beta:3.1f}: S(pi, pi) = {float(m):.4f} +- {float(e):.4f}")
+print("\nOK — antiferromagnetic correlations grow toward low temperature.")

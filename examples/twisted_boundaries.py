@@ -1,0 +1,78 @@
+"""Twist-averaged boundary conditions — complex Green's functions.
+
+Finite periodic clusters suffer "shell effects": the discrete momentum
+grid makes small-lattice observables jump around the thermodynamic
+limit.  The standard cure is to thread a boundary twist ``theta``
+(Peierls phases on the hopping), turning the Hubbard matrix complex,
+and average observables over twists — the momentum grid sweeps the
+Brillouin zone.
+
+This example exercises the library's complex code path end to end:
+
+1. build twisted Hubbard matrices and run FSI on them (complex BSOFI
+   panels are unitary instead of orthogonal);
+2. verify the ``theta -> -theta`` conjugation symmetry that keeps
+   twist-averaged observables real;
+3. show the physics payoff in the exactly solvable ``U = 0`` limit:
+   the twist-averaged kinetic energy of a tiny 4x4 lattice lands far
+   closer to the thermodynamic limit than the untwisted cluster.
+
+Run: ``python examples/twisted_boundaries.py``
+"""
+
+import numpy as np
+
+from repro import HSField, Pattern, RectangularLattice, fsi
+from repro.hubbard.twisted import TwistedHubbardModel, twisted_adjacency
+
+LAT = RectangularLattice(4, 4)
+L, BETA, T = 16, 2.0, 1.0
+
+
+def kinetic_energy_free(theta: tuple[float, float], nk: int = 1) -> float:
+    """Exact U = 0 kinetic energy per site at twist ``theta``."""
+    K = twisted_adjacency(LAT, theta)
+    eps = np.linalg.eigvalsh(-T * K)
+    f = 1.0 / (1.0 + np.exp(BETA * eps))
+    return float(2.0 * np.sum(eps * f) / LAT.nsites)
+
+
+def kinetic_energy_bulk(grid: int = 64) -> float:
+    """Thermodynamic-limit kinetic energy (dense momentum integration)."""
+    kx = 2 * np.pi * (np.arange(grid) + 0.5) / grid
+    eps = -2 * T * (np.cos(kx)[:, None] + np.cos(kx)[None, :])
+    f = 1.0 / (1.0 + np.exp(BETA * eps))
+    return float(2.0 * np.mean(eps * f))
+
+
+# --- 1. FSI on a complex (twisted, interacting) Hubbard matrix ----------
+theta = (0.9, 0.4)
+model = TwistedHubbardModel(LAT, L=L, theta=theta, U=4.0, beta=BETA)
+field = HSField.random(L, LAT.nsites, np.random.default_rng(0))
+M = model.build_matrix(field, +1)
+print(f"twisted Hubbard matrix: complex dtype = {M.dtype}")
+G_dense = np.linalg.inv(M.to_dense())
+res = fsi(M, 4, pattern=Pattern.COLUMNS, q=1)
+print(f"FSI on the complex matrix: rel err {res.selected.max_relative_error(G_dense):.2e}")
+
+# --- 2. conjugation symmetry ------------------------------------------
+neg = TwistedHubbardModel(LAT, L=L, theta=(-theta[0], -theta[1]), U=4.0, beta=BETA)
+M_neg = neg.build_matrix(field, +1)
+res_neg = fsi(M_neg, 4, pattern=Pattern.DIAGONAL, q=0)
+res_pos = fsi(M, 4, pattern=Pattern.DIAGONAL, q=0)
+k = res_pos.selection.seeds[0]
+tr_sum = np.trace(res_pos.selected[(k, k)]) + np.trace(res_neg.selected[(k, k)])
+print(f"tr G(+theta) + tr G(-theta) imag part: {abs(tr_sum.imag):.2e} (exactly real)")
+
+# --- 3. twist averaging kills shell effects (U = 0, exact) --------------
+bulk = kinetic_energy_bulk()
+untwisted = kinetic_energy_free((0.0, 0.0))
+grid = np.linspace(-np.pi, np.pi, 5, endpoint=False)
+avg = float(np.mean([kinetic_energy_free((tx, ty)) for tx in grid for ty in grid]))
+print("\nU = 0 kinetic energy per site (4x4 lattice, beta = 2):")
+print(f"  thermodynamic limit : {bulk:+.5f}")
+print(f"  untwisted cluster   : {untwisted:+.5f}  (error {abs(untwisted - bulk):.5f})")
+print(f"  twist-averaged (25) : {avg:+.5f}  (error {abs(avg - bulk):.5f})")
+assert abs(avg - bulk) < 0.5 * abs(untwisted - bulk)
+print("\nOK — twist averaging brings the 4x4 cluster within "
+      f"{abs(avg - bulk) / abs(bulk):.2%} of the bulk value.")

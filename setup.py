@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on offline environments whose
+setuptools predates native ``bdist_wheel`` support (the PEP 517
+editable path needs the ``wheel`` package; the legacy
+``setup.py develop`` path does not).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

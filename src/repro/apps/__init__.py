@@ -1,0 +1,24 @@
+"""Applications built on the FSI library beyond DQMC.
+
+* :mod:`repro.apps.trace` — exact vs stochastic trace/diagonal of
+  ``M^{-1}`` (the probing/sketching connection of Sec. I);
+* :mod:`repro.apps.markov` — p-cyclic Markov chains (resolvent queries
+  via selected inversion, the Stewart [21] application).
+"""
+
+from .markov import CyclicMarkovChain, resolvent_columns
+from .trace import (
+    HutchinsonResult,
+    exact_diagonal,
+    exact_trace,
+    hutchinson_trace,
+)
+
+__all__ = [
+    "CyclicMarkovChain",
+    "HutchinsonResult",
+    "exact_diagonal",
+    "exact_trace",
+    "hutchinson_trace",
+    "resolvent_columns",
+]

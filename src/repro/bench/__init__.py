@@ -1,0 +1,33 @@
+"""Experiment harness: workloads, timed runs, table rendering."""
+
+from .harness import TimedRun, run_explicit_baseline, run_fsi, run_lu_baseline
+from .report import Series, Table, banner, format_quantity
+from .workloads import (
+    BENCH_MEDIUM,
+    BENCH_SMALL,
+    FIG8_SIZES,
+    FIG9_CONFIGS,
+    VALIDATION,
+    Workload,
+    make_hubbard,
+    square_lattice_for,
+)
+
+__all__ = [
+    "BENCH_MEDIUM",
+    "BENCH_SMALL",
+    "FIG8_SIZES",
+    "FIG9_CONFIGS",
+    "Series",
+    "Table",
+    "TimedRun",
+    "VALIDATION",
+    "Workload",
+    "banner",
+    "format_quantity",
+    "make_hubbard",
+    "run_explicit_baseline",
+    "run_fsi",
+    "run_lu_baseline",
+    "square_lattice_for",
+]

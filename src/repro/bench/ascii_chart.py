@@ -1,0 +1,115 @@
+"""Plain-terminal charts for the experiment scripts (no plotting deps).
+
+The paper's figures are line/bar plots; the regeneration scripts print
+their data as tables (:mod:`repro.bench.report`) *and*, with these
+helpers, as quick ASCII visuals so the shapes are eyeballable straight
+from the terminal:
+
+* :func:`line_chart` — multi-series scatter/line panel on a character
+  grid (Fig. 8 bottom, Fig. 9 style);
+* :func:`bar_chart` — horizontal labelled bars (Fig. 10/11 style);
+* :func:`sparkline` — one-line unicode profile for compact series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["line_chart", "bar_chart", "sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode profile of a numeric series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span == 0:
+        return _SPARK[0] * len(vals)
+    idx = [int((v - lo) / span * (len(_SPARK) - 1)) for v in vals]
+    return "".join(_SPARK[i] for i in idx)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned labels and values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    peak = max(vals)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, v in zip(labels, vals):
+        n = int(round(v / peak * width))
+        lines.append(
+            f"{str(label):>{label_w}s} |{'█' * n}{' ' * (width - n)}| "
+            f"{v:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "",
+) -> str:
+    """Multi-series character-grid chart with a legend.
+
+    Values are mapped onto a ``height x width`` grid; each series gets
+    a marker character.  Intended for monotone-ish curves (scalability,
+    sweeps) — enough to see who is above whom and where lines bend.
+    """
+    xs = [float(v) for v in x]
+    if not xs or not series:
+        return ""
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_y = [float(v) for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(xs), max(xs)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), _MARKERS):
+        for xv, yv in zip(xs, ys):
+            col = int((float(xv) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((float(yv) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    top = f"{y_hi:g}"
+    bottom = f"{y_lo:g}"
+    margin = max(len(top), len(bottom), len(y_label))
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top.rjust(margin)
+        elif r == height - 1:
+            prefix = bottom.rjust(margin)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    lines.append(
+        " " * margin + f"  {x_lo:g}" + " " * max(width - 12, 1) + f"{x_hi:g}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)

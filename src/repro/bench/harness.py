@@ -1,0 +1,82 @@
+"""Experiment harness: timed, traced runs of the core pipelines.
+
+Wraps the library entry points with a :class:`~repro.perf.tracer.FlopTracer`
+and wall-clock timing so every experiment script reports measured flops,
+measured seconds and the achieved (real-hardware) rate next to the
+modeled Edison numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.baselines import lu_selected_inversion
+from ..core.fsi import fsi
+from ..core.greens_explicit import explicit_selected_columns
+from ..core.patterns import Pattern, Selection
+from ..core.pcyclic import BlockPCyclic
+from ..perf.tracer import FlopTracer
+
+__all__ = ["TimedRun", "run_fsi", "run_lu_baseline", "run_explicit_baseline"]
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """Measured facts about one algorithm execution."""
+
+    label: str
+    seconds: float
+    flops: float
+    stage_flops: dict[str, float]
+    stage_seconds: dict[str, float]
+    result: object
+
+    @property
+    def gflops(self) -> float:
+        """Achieved rate on *this* machine (not Edison)."""
+        return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+
+def _timed(label: str, fn) -> TimedRun:
+    with FlopTracer() as tr:
+        t0 = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - t0
+    summary = tr.summary()
+    return TimedRun(
+        label=label,
+        seconds=seconds,
+        flops=tr.total_flops,
+        stage_flops={k: v["flops"] for k, v in summary.items()},
+        stage_seconds={k: v["seconds"] for k, v in summary.items()},
+        result=result,
+    )
+
+
+def run_fsi(
+    pc: BlockPCyclic,
+    c: int,
+    pattern: Pattern = Pattern.COLUMNS,
+    q: int = 1,
+    num_threads: int | None = 1,
+) -> TimedRun:
+    """One traced FSI execution."""
+    return _timed(
+        "fsi",
+        lambda: fsi(pc, c, pattern=pattern, q=q, num_threads=num_threads),
+    )
+
+
+def run_lu_baseline(pc: BlockPCyclic, selection: Selection) -> TimedRun:
+    """The dense DGETRF/DGETRI baseline on the same selection."""
+    return _timed("lu", lambda: lu_selected_inversion(pc, selection))
+
+
+def run_explicit_baseline(pc: BlockPCyclic, columns: list[int]) -> TimedRun:
+    """The explicit-form (Eq. (3)) baseline for block columns."""
+    return _timed(
+        "explicit", lambda: explicit_selected_columns(pc, columns)
+    )

@@ -1,0 +1,99 @@
+"""Plain-text table/series rendering for the experiment harness.
+
+The paper's tables and figures are regenerated as printed rows/series
+(no plotting dependency); every experiment script uses these helpers so
+the output format is uniform and EXPERIMENTS.md can quote it verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table", "Series", "format_quantity", "banner"]
+
+
+def format_quantity(value: Any, digits: int = 3) -> str:
+    """Human formatting: floats get ``digits`` significant digits."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.{digits}g}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section banner for experiment output."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+@dataclass
+class Table:
+    """A printable table with headers and typed rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} entries, expected {len(self.headers)}"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        cells = [[format_quantity(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        def fmt(row: Sequence[str]) -> str:
+            return "  ".join(s.rjust(w) for s, w in zip(row, widths))
+
+        lines = [self.title, fmt(list(self.headers)),
+                 fmt(["-" * w for w in widths])]
+        lines += [fmt(r) for r in cells]
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+
+@dataclass
+class Series:
+    """A printable (x, y...) series — the textual form of a figure line."""
+
+    title: str
+    x_label: str
+    x: Sequence[Any]
+    lines: dict[str, Sequence[Any]] = field(default_factory=dict)
+
+    def add_line(self, name: str, values: Sequence[Any]) -> None:
+        if len(values) != len(self.x):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {len(self.x)}"
+            )
+        self.lines[name] = values
+
+    def render(self) -> str:
+        table = Table(self.title, [self.x_label, *self.lines.keys()])
+        for i, xv in enumerate(self.x):
+            table.add_row(xv, *(vals[i] for vals in self.lines.values()))
+        return table.render()
+
+    def print(self) -> None:
+        print(self.render())
+        print()

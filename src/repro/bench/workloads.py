@@ -1,0 +1,91 @@
+"""Standard workloads for the experiments and benchmarks.
+
+Two tiers:
+
+* **paper scale** — the exact parameters of the paper's evaluation
+  (``(N, L, c) = (100, 64, 8)`` validation; ``(·, 100, 10)`` with
+  ``N in {256..1024}`` for Fig. 8/9; ``(400, 100, 10)`` for
+  Fig. 10/11).  Used by the correctness validation (which genuinely
+  runs at paper scale) and by the *modeled* experiments.
+* **bench scale** — proportionally shrunk geometries that keep every
+  code path hot while running in seconds on a laptop; used by the
+  wall-clock pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pcyclic import BlockPCyclic
+from ..hubbard.hs_field import HSField
+from ..hubbard.lattice import RectangularLattice
+from ..hubbard.matrix import HubbardModel
+
+__all__ = [
+    "Workload",
+    "VALIDATION",
+    "FIG8_SIZES",
+    "FIG9_CONFIGS",
+    "BENCH_SMALL",
+    "BENCH_MEDIUM",
+    "make_hubbard",
+    "square_lattice_for",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named (lattice, L, c, physics) configuration."""
+
+    name: str
+    nx: int
+    ny: int
+    L: int
+    c: int
+    t: float = 1.0
+    U: float = 2.0
+    beta: float = 1.0
+
+    @property
+    def N(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def b(self) -> int:
+        return self.L // self.c
+
+
+#: Sec. V-A: (N, L) = (100, 64), (t, beta, U) = (1, 1, 2), c ~ sqrt(L).
+VALIDATION = Workload("validation", nx=10, ny=10, L=64, c=8)
+
+#: Fig. 8/9 block sizes (all perfect squares, so 2-D lattices exist).
+FIG8_SIZES = (256, 400, 576, 784, 1024)
+
+#: Fig. 9 hybrid configurations: (MPI ranks) x (OpenMP threads/rank)
+#: on 100 nodes x 24 cores.
+FIG9_CONFIGS = ((200, 12), (400, 6), (800, 3), (1200, 2), (2400, 1))
+
+#: Wall-clock tiers for pytest-benchmark.
+BENCH_SMALL = Workload("bench-small", nx=4, ny=4, L=24, c=4, U=4.0, beta=2.0)
+BENCH_MEDIUM = Workload("bench-medium", nx=6, ny=6, L=40, c=8, U=4.0, beta=2.0)
+
+
+def square_lattice_for(N: int) -> RectangularLattice:
+    """The ``sqrt(N) x sqrt(N)`` lattice for a perfect-square ``N``."""
+    n = int(round(np.sqrt(N)))
+    if n * n != N:
+        raise ValueError(f"N={N} is not a perfect square")
+    return RectangularLattice(n, n)
+
+
+def make_hubbard(
+    w: Workload, seed: int = 0, sigma: int = +1
+) -> tuple[BlockPCyclic, HubbardModel, HSField]:
+    """Materialise a workload: model + random HS field + matrix."""
+    model = HubbardModel(
+        RectangularLattice(w.nx, w.ny), L=w.L, t=w.t, U=w.U, beta=w.beta
+    )
+    field = HSField.random(w.L, model.N, np.random.default_rng(seed))
+    return model.build_matrix(field, sigma), model, field

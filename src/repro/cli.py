@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``validate`` — the Sec. V-A correctness check at configurable scale;
+* ``dqmc`` — run a small DQMC simulation and print the observables;
+* ``fsi`` — time FSI vs the baselines on one matrix;
+* ``tune`` — pick the best hybrid (ranks x threads) configuration for a
+  problem size on the Edison model;
+* ``tridiag`` — exercise the block tridiagonal extension (selected
+  inversion vs dense oracle at chosen size);
+* ``trace`` — compare exact vs Hutchinson trace estimation;
+* ``experiments`` — regenerate every paper table/figure (delegates to
+  the ``benchmarks/exp_*`` scripts' library entry points).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro import Pattern, build_hubbard_matrix, fsi
+    from repro.core.validate import validate_selected
+
+    M, model, _ = build_hubbard_matrix(
+        args.nx, args.nx, L=args.slices, U=args.U, beta=args.beta, rng=args.seed
+    )
+    res = fsi(M, args.c, pattern=Pattern.COLUMNS, rng=args.seed)
+    report = validate_selected(M, res.selected, oracle=args.oracle)
+    print(
+        f"(N, L) = ({M.N}, {M.L}), c = {args.c}, q = {res.selection.q}:"
+        f" {report}"
+    )
+    print("PASS" if report.passed else "FAIL")
+    return 0 if report.passed else 1
+
+
+def _cmd_dqmc(args: argparse.Namespace) -> int:
+    from repro import DQMC, DQMCConfig, HubbardModel, RectangularLattice
+
+    model = HubbardModel(
+        RectangularLattice(args.nx, args.nx),
+        L=args.slices,
+        U=args.U,
+        beta=args.beta,
+    )
+    sim = DQMC(
+        model,
+        DQMCConfig(
+            warmup_sweeps=args.warmup,
+            measurement_sweeps=args.measure,
+            c=args.c,
+            seed=args.seed,
+            delay=args.delay,
+        ),
+    )
+    t0 = time.perf_counter()
+    res = sim.run()
+    dt = time.perf_counter() - t0
+    print(
+        f"{args.nx}x{args.nx} lattice, L={args.slices}, U={args.U},"
+        f" beta={args.beta}: {res.sweeps} sweeps in {dt:.1f}s,"
+        f" acceptance {res.acceptance_rate:.3f}"
+    )
+    for name in ("density", "double_occupancy", "kinetic_energy", "local_moment"):
+        mean, err = res.observable(name)
+        print(f"  {name:18s} = {float(mean):+.4f} +- {float(err):.4f}")
+    return 0
+
+
+def _cmd_fsi(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_explicit_baseline, run_fsi, run_lu_baseline
+    from repro.core.patterns import Pattern, Selection
+    from repro import build_hubbard_matrix
+
+    M, _, _ = build_hubbard_matrix(
+        args.nx, args.nx, L=args.slices, U=args.U, beta=args.beta, rng=args.seed
+    )
+    f = run_fsi(M, args.c, Pattern.COLUMNS, q=1)
+    e = run_explicit_baseline(M, [args.c * i - 1 for i in range(1, M.L // args.c + 1)])
+    l = run_lu_baseline(M, Selection(Pattern.COLUMNS, L=M.L, c=args.c, q=1))
+    print(f"(N, L, c) = ({M.N}, {M.L}, {args.c}), b block columns:")
+    for run in (f, e, l):
+        print(
+            f"  {run.label:9s} {run.seconds * 1e3:9.2f} ms"
+            f"  {run.flops:.3e} flops  {run.gflops:6.2f} Gflop/s"
+        )
+    print(f"  FSI speedup: {e.seconds / f.seconds:.1f}x vs explicit,"
+          f" {l.seconds / f.seconds:.1f}x vs dense LU")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.perf.tuner import tune_hybrid
+
+    result = tune_hybrid(args.N, args.slices, args.c, args.matrices, nodes=args.nodes)
+    print(
+        f"N={args.N}, L={args.slices}, c={args.c}, {args.matrices} matrices"
+        f" on {args.nodes} Edison nodes:"
+    )
+    for config, mem, rate in result.summary_rows():
+        print(f"  {config:>9s}  {mem:6.2f} GB/rank  {rate}")
+    if result.best is None:
+        print("no feasible configuration!")
+        return 1
+    b = result.best
+    print(f"best: {b.n_ranks}x{b.threads_per_rank} at {b.tflops:.1f} Tflop/s")
+    return 0
+
+
+def _cmd_tridiag(args: argparse.Namespace) -> int:
+    import time as _time
+
+    import numpy as np
+
+    from repro.core.patterns import Pattern
+    from repro.tridiag import fsi_tridiagonal, laplacian_chain, rgf_diagonal
+
+    J = laplacian_chain(args.slices, args.N)
+    t0 = _time.perf_counter()
+    sel = fsi_tridiagonal(J, args.c, pattern=Pattern.FULL_DIAGONAL, q=0)
+    t_fsi = _time.perf_counter() - t0
+    t0 = _time.perf_counter()
+    diag = rgf_diagonal(J)
+    t_rgf = _time.perf_counter() - t0
+    err = max(
+        float(np.abs(sel[(i, i)] - diag[i - 1]).max())
+        for i in range(1, J.L + 1)
+    )
+    print(
+        f"block tridiagonal Laplacian chain (N, L, c) ="
+        f" ({args.N}, {args.slices}, {args.c})"
+    )
+    print(f"  FSI pipeline : {t_fsi * 1e3:8.2f} ms")
+    print(f"  RGF sweep    : {t_rgf * 1e3:8.2f} ms")
+    print(f"  max |FSI - RGF| over the diagonal: {err:.3e}")
+    return 0 if err < 1e-8 else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import build_hubbard_matrix
+    from repro.apps.trace import exact_trace, hutchinson_trace
+    from repro.core.solve import PCyclicSolver
+
+    M, _, _ = build_hubbard_matrix(
+        args.nx, args.nx, L=args.slices, U=args.U, beta=args.beta, rng=args.seed
+    )
+    exact = exact_trace(M, c=args.c)
+    print(f"tr(G) on (N, L) = ({M.N}, {M.L}): exact = {exact:.6f}")
+    solver = PCyclicSolver(M)
+    for n in (8, 32, 128):
+        r = hutchinson_trace(M, n_probes=n, rng=args.seed + 1, solver=solver)
+        print(
+            f"  Hutchinson n={n:4d}: {r.estimate:12.6f}"
+            f" +- {r.stderr:8.4f}  (|err| {r.error_vs(exact):8.4f})"
+        )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import pathlib
+
+    bench = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench.is_dir():
+        print(f"benchmarks directory not found at {bench}", file=sys.stderr)
+        return 1
+    sys.path.insert(0, str(bench))
+    import exp_t1_patterns
+    import exp_t2_complexity
+    import exp_f8_single_node
+    import exp_f9_hybrid
+    import exp_f10_profile
+    import exp_f11_dqmc
+
+    exp_t1_patterns.run().print()
+    exp_t2_complexity.formula_table().print()
+    exp_f8_single_node.fig8_top().print()
+    exp_f8_single_node.fig8_bottom().print()
+    exp_f9_hybrid.modeled_sweep().print()
+    exp_f10_profile.modeled_profile().print()
+    exp_f11_dqmc.modeled_runtime().print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="FSI selected inversion for DQMC Green's functions",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    v = sub.add_parser("validate", help="Sec. V-A correctness check")
+    v.add_argument("--nx", type=int, default=6)
+    v.add_argument("--slices", type=int, default=32, dest="slices")
+    v.add_argument("--c", type=int, default=8)
+    v.add_argument("--U", type=float, default=2.0)
+    v.add_argument("--beta", type=float, default=1.0)
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--oracle", choices=("dense", "explicit"), default="dense")
+    v.set_defaults(func=_cmd_validate)
+
+    d = sub.add_parser("dqmc", help="run a DQMC simulation")
+    d.add_argument("--nx", type=int, default=4)
+    d.add_argument("--slices", type=int, default=16)
+    d.add_argument("--c", type=int, default=4)
+    d.add_argument("--U", type=float, default=4.0)
+    d.add_argument("--beta", type=float, default=2.0)
+    d.add_argument("--warmup", type=int, default=5)
+    d.add_argument("--measure", type=int, default=10)
+    d.add_argument("--delay", type=int, default=1)
+    d.add_argument("--seed", type=int, default=0)
+    d.set_defaults(func=_cmd_dqmc)
+
+    f = sub.add_parser("fsi", help="time FSI vs baselines")
+    f.add_argument("--nx", type=int, default=6)
+    f.add_argument("--slices", type=int, default=40)
+    f.add_argument("--c", type=int, default=8)
+    f.add_argument("--U", type=float, default=2.0)
+    f.add_argument("--beta", type=float, default=1.0)
+    f.add_argument("--seed", type=int, default=0)
+    f.set_defaults(func=_cmd_fsi)
+
+    t = sub.add_parser("tune", help="pick the best hybrid configuration")
+    t.add_argument("--N", type=int, default=576)
+    t.add_argument("--slices", type=int, default=100)
+    t.add_argument("--c", type=int, default=10)
+    t.add_argument("--matrices", type=int, default=2400)
+    t.add_argument("--nodes", type=int, default=100)
+    t.set_defaults(func=_cmd_tune)
+
+    td = sub.add_parser("tridiag", help="block tridiagonal FSI extension")
+    td.add_argument("--N", type=int, default=12)
+    td.add_argument("--slices", type=int, default=32)
+    td.add_argument("--c", type=int, default=8)
+    td.set_defaults(func=_cmd_tridiag)
+
+    tr = sub.add_parser("trace", help="exact vs stochastic trace of G")
+    tr.add_argument("--nx", type=int, default=5)
+    tr.add_argument("--slices", type=int, default=24)
+    tr.add_argument("--c", type=int, default=4)
+    tr.add_argument("--U", type=float, default=2.0)
+    tr.add_argument("--beta", type=float, default=1.0)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.set_defaults(func=_cmd_trace)
+
+    e = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    e.set_defaults(func=_cmd_experiments)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Instrumented dense linear-algebra kernels.
+
+All core algorithms (CLS, BSOFI, WRP, baselines) perform their matrix
+arithmetic through these wrappers so that
+
+* flop counts flow into the active :class:`repro.perf.tracer.FlopTracer`
+  (the evaluation section reports per-stage flop rates), and
+* the flop-counting conventions are defined in exactly one place.
+
+Conventions (the standard dense counts the paper uses):
+
+* gemm ``C = A @ B`` with ``A (m, k)``, ``B (k, n)``: ``2 m k n`` flops;
+* LU factorisation of ``n x n``: ``2/3 n^3``;
+* triangular solve with ``m`` right-hand sides: ``m n^2`` per triangle
+  (LU solve with both triangles: ``2 m n^2``);
+* Householder QR of ``m x n`` (``m >= n``): ``2 n^2 (m - n/3)``;
+* forming the full ``m x m`` Q: ``4/3 m^3`` (loose, adequate for rates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..perf.tracer import record_flops
+
+__all__ = [
+    "gemm",
+    "gemm_into",
+    "batched_gemm",
+    "add_identity",
+    "lu_factor",
+    "lu_solve",
+    "solve",
+    "solve_right",
+    "qr_full",
+    "triangular_inverse",
+    "LUFactors",
+]
+
+
+def gemm(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``A @ B`` with flop accounting."""
+    m, k = A.shape
+    n = B.shape[1]
+    record_flops(2.0 * m * k * n, (A.nbytes + B.nbytes) + 8.0 * m * n)
+    return A @ B
+
+
+def gemm_into(out: np.ndarray, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``out[:] = A @ B`` without allocating a result array."""
+    m, k = A.shape
+    n = B.shape[1]
+    record_flops(2.0 * m * k * n, (A.nbytes + B.nbytes) + 8.0 * m * n)
+    np.matmul(A, B, out=out)
+    return out
+
+
+def batched_gemm(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Broadcasted ``A @ B`` over leading batch dimensions, counted."""
+    out = np.matmul(A, B)
+    m, n = out.shape[-2], out.shape[-1]
+    k = A.shape[-1]
+    batch = int(np.prod(out.shape[:-2], dtype=np.int64)) if out.ndim > 2 else 1
+    record_flops(2.0 * batch * m * k * n, A.nbytes + B.nbytes + out.nbytes)
+    return out
+
+
+def add_identity(A: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """In-place ``A += alpha * I`` (cheap; O(n) flops, not counted)."""
+    idx = np.arange(min(A.shape))
+    A[idx, idx] += alpha
+    return A
+
+
+class LUFactors:
+    """Pivoted LU factors of a square matrix, reusable for many solves."""
+
+    __slots__ = ("lu", "piv", "n")
+
+    def __init__(self, A: np.ndarray):
+        self.n = A.shape[0]
+        record_flops(2.0 / 3.0 * self.n**3, A.nbytes)
+        self.lu, self.piv = sla.lu_factor(A, check_finite=False)
+
+    def solve(self, B: np.ndarray, trans: int = 0) -> np.ndarray:
+        """Solve ``A X = B`` (or ``A^T X = B`` when ``trans=1``)."""
+        nrhs = 1 if B.ndim == 1 else B.shape[1]
+        record_flops(2.0 * nrhs * self.n**2, B.nbytes)
+        return sla.lu_solve((self.lu, self.piv), B, trans=trans, check_finite=False)
+
+
+def lu_factor(A: np.ndarray) -> LUFactors:
+    """Factor ``A`` once; solve many times via :meth:`LUFactors.solve`."""
+    return LUFactors(A)
+
+
+def lu_solve(factors: LUFactors, B: np.ndarray) -> np.ndarray:
+    return factors.solve(B)
+
+
+def solve(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """One-shot ``A^{-1} B`` (factor + solve, both counted)."""
+    return LUFactors(A).solve(B)
+
+
+def solve_right(B: np.ndarray, A: np.ndarray) -> np.ndarray:
+    """One-shot ``B A^{-1}`` = ``(A^{-T} B^T)^T``."""
+    return LUFactors(np.ascontiguousarray(A.T)).solve(B.T).T
+
+
+def qr_full(A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Householder QR with explicit full ``Q`` (used by BSOFI panels)."""
+    m, n = A.shape
+    record_flops(2.0 * n * n * (m - n / 3.0) + 4.0 / 3.0 * m**3, A.nbytes)
+    return sla.qr(A, mode="full", check_finite=False)
+
+
+def triangular_inverse(R: np.ndarray, lower: bool = False) -> np.ndarray:
+    """Inverse of a triangular matrix (``n^3 / 3`` flops)."""
+    n = R.shape[0]
+    record_flops(n**3 / 3.0, R.nbytes)
+    eye = np.eye(n, dtype=R.dtype)
+    return sla.solve_triangular(R, eye, lower=lower, check_finite=False)

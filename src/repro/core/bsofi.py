@@ -1,0 +1,208 @@
+"""BSOFI — block structured orthogonal factorisation inversion.
+
+The second stage of FSI computes the *full* inverse ``G~ = M~^{-1}`` of
+the reduced ``b``-block p-cyclic matrix by the structured QR method of
+Gogolenko, Bai & Scalettar (Euro-Par 2014, the paper's ref. [27]),
+reimplemented here from the structure:
+
+1. **Structured QR** ``M~ = Q R``: for ``i = 1 .. b-1`` a Householder
+   QR of the stacked ``2N x N`` panel ``[X_i; -B_{i+1}]`` annihilates
+   the sub-diagonal block; applying ``Q_i^T`` to the two remaining
+   nonzero columns in rows ``(i, i+1)`` creates the super-diagonal block
+   ``R_{i,i+1}``, propagates fill down the last block column (the corner
+   block ``B_1`` smears into ``R_{i,b}``), and produces the next active
+   diagonal ``X_{i+1}``.  A final ``N x N`` QR triangularises ``X_b``.
+   Only ``2N x N`` panels are ever factorised — never the ``(bN)^2``
+   matrix — which is the point of the method.
+(For complex matrices every ``Q^T`` below is the conjugate transpose
+``Q^H`` — the implementation is dtype-generic.)
+
+2. **Structured back-substitution** for ``R^{-1}``: row ``i`` of ``R``
+   has nonzeros only at ``(i,i)``, ``(i,i+1)`` and ``(i,b)``, so the
+   full upper-triangular ``R^{-1}`` costs one triangular inversion plus
+   at most two gemms per block.
+3. **Apply** ``Q^T`` from the right: ``G~ = R^{-1} Q_b^T Q_{b-1}^T ...
+   Q_1^T``, each factor a ``2N``-column block rotation.
+
+Orthogonal transforms keep the factorisation backward stable even for
+the ill-conditioned products that CLS produces at low temperature —
+this is why the paper pairs CLS with BSOFI instead of an LU inversion
+(see ``benchmarks/exp_a2_bsofi_stability.py``).
+
+Total cost is ``~7 b^2 N^3`` flops (:func:`bsofi_flops`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import _kernels as kr
+from .pcyclic import BlockPCyclic
+
+__all__ = ["bsofi", "bsofi_qr", "StructuredQR", "bsofi_flops"]
+
+
+@dataclass
+class StructuredQR:
+    """The structured factors ``M~ = Q R``.
+
+    Attributes
+    ----------
+    Rd:
+        Diagonal blocks ``R_ii`` (upper triangular), shape ``(b, N, N)``.
+    Ru:
+        Super-diagonal blocks ``R_{i,i+1}``, shape ``(b-1, N, N)``.
+    Rc:
+        Last-column fill ``R_{i,b}`` for ``i <= b-3`` (0-based rows
+        ``0 .. b-3``), shape ``(max(b-2, 0), N, N)``.  For row ``b-2``
+        the super-diagonal *is* the last column and lives in ``Ru``.
+    Q:
+        Panel factors ``Q_i`` (each ``2N x 2N``), shape ``(b-1, 2N, 2N)``.
+    Qf:
+        Final ``N x N`` factor triangularising the last diagonal.
+    """
+
+    Rd: np.ndarray
+    Ru: np.ndarray
+    Rc: np.ndarray
+    Q: np.ndarray
+    Qf: np.ndarray
+
+    @property
+    def b(self) -> int:
+        return self.Rd.shape[0]
+
+    @property
+    def N(self) -> int:
+        return self.Rd.shape[1]
+
+    def to_dense_r(self) -> np.ndarray:
+        """Materialise ``R`` densely (tests/diagnostics)."""
+        b, N = self.b, self.N
+        R = np.zeros((b * N, b * N))
+        for i in range(b):
+            R[i * N : (i + 1) * N, i * N : (i + 1) * N] = self.Rd[i]
+        for i in range(b - 1):
+            R[i * N : (i + 1) * N, (i + 1) * N : (i + 2) * N] = self.Ru[i]
+        for i in range(max(b - 2, 0)):
+            R[i * N : (i + 1) * N, (b - 1) * N :] = self.Rc[i]
+        return R
+
+    def to_dense_q(self) -> np.ndarray:
+        """Materialise ``Q = Q_1 Q_2 ... Q_{b-1} Q_b`` densely (tests)."""
+        b, N = self.b, self.N
+        Qfull = np.eye(b * N)
+        for i in range(b - 1):
+            E = np.eye(b * N)
+            E[i * N : (i + 2) * N, i * N : (i + 2) * N] = self.Q[i]
+            Qfull = Qfull @ E
+        E = np.eye(b * N)
+        E[(b - 1) * N :, (b - 1) * N :] = self.Qf
+        return Qfull @ E
+
+
+def bsofi_qr(pc: BlockPCyclic) -> StructuredQR:
+    """Structured QR factorisation of a block p-cyclic matrix.
+
+    ``pc`` is typically the CLS-reduced matrix (``b`` blocks); the
+    factorisation never forms the dense matrix.
+    """
+    b, N = pc.L, pc.N
+    if b < 2:
+        raise ValueError("bsofi_qr needs at least 2 block rows; use bsofi()")
+    dtype = pc.dtype
+    Rd = np.empty((b, N, N), dtype=dtype)
+    Ru = np.empty((b - 1, N, N), dtype=dtype)
+    Rc = np.empty((max(b - 2, 0), N, N), dtype=dtype)
+    Q = np.empty((b - 1, 2 * N, 2 * N), dtype=dtype)
+
+    X = np.eye(N, dtype=dtype)          # active diagonal block
+    C = np.array(pc.block(1), copy=True)  # last-column fill (starts as B_1)
+    panel = np.empty((2 * N, N), dtype=dtype)
+    for i in range(b - 1):
+        panel[:N] = X
+        np.negative(pc.block(i + 2), out=panel[N:])  # -B_{i+2} (1-based)
+        Qi, Rfull = kr.qr_full(panel)
+        Q[i] = Qi
+        Rd[i] = Rfull[:N]
+        QiT = Qi.conj().T
+        if i < b - 2:
+            # Trailing columns: (i+1) holding [0; I] and the last column
+            # holding [C; 0].
+            T1 = QiT[:, N:]  # == Qi^T @ [0; I]
+            Ru[i] = T1[:N]
+            X = np.ascontiguousarray(T1[N:])
+            T2 = kr.gemm(QiT[:, :N], C)  # == Qi^T @ [C; 0]
+            Rc[i] = T2[:N]
+            C = T2[N:]
+        else:
+            # i == b-2: the trailing column *is* the last column, holding
+            # [C; I] (fill above, diagonal below).
+            T = kr.gemm(QiT[:, :N], C)
+            T[:N] += QiT[:N, N:]
+            T[N:] += QiT[N:, N:]
+            Ru[i] = T[:N]
+            X = np.ascontiguousarray(T[N:])
+    Qf, Rlast = kr.qr_full(X)
+    Rd[b - 1] = Rlast
+    return StructuredQR(Rd=Rd, Ru=Ru, Rc=Rc, Q=Q, Qf=Qf)
+
+
+def _r_inverse(f: StructuredQR) -> np.ndarray:
+    """``R^{-1}`` as a ``(b, b, N, N)`` block array (upper triangular fill)."""
+    b, N = f.b, f.N
+    X = np.zeros((b, b, N, N), dtype=f.Rd.dtype)
+    Tinv = [kr.triangular_inverse(f.Rd[i]) for i in range(b)]
+    for j in range(b):
+        X[j, j] = Tinv[j]
+    # Last column, bottom-up: rows i <= b-3 see both Ru and Rc fill.
+    for i in range(b - 2, -1, -1):
+        acc = kr.gemm(f.Ru[i], X[i + 1, b - 1])
+        if i < b - 2:
+            acc += kr.gemm(f.Rc[i], X[b - 1, b - 1])
+        X[i, b - 1] = -kr.gemm(Tinv[i], acc)
+    # Interior columns: only the super-diagonal couples rows.
+    for j in range(b - 2, 0, -1):
+        for i in range(j - 1, -1, -1):
+            X[i, j] = -kr.gemm(Tinv[i], kr.gemm(f.Ru[i], X[i + 1, j]))
+    return X
+
+
+def _apply_qt(G: np.ndarray, f: StructuredQR) -> np.ndarray:
+    """``G @ Q^T`` in place of the block array ``G`` (``(b, b, N, N)``)."""
+    b, N = f.b, f.N
+    # Final factor first: G[:, b-1] <- G[:, b-1] @ Qf^H.
+    G[:, b - 1] = kr.batched_gemm(G[:, b - 1], f.Qf.conj().T)
+    # Then the panel factors in reverse: columns (i, i+1) rotate together.
+    for i in range(b - 2, -1, -1):
+        W = np.concatenate((G[:, i], G[:, i + 1]), axis=2)  # (b, N, 2N)
+        W = kr.batched_gemm(W, f.Q[i].conj().T)
+        G[:, i] = W[:, :, :N]
+        G[:, i + 1] = W[:, :, N:]
+    return G
+
+
+def bsofi(pc: BlockPCyclic) -> np.ndarray:
+    """Full inverse of a block p-cyclic matrix via structured QR.
+
+    Returns the blocks of ``G~ = M~^{-1}`` as a ``(b, b, N, N)`` array
+    (``G[k0-1, l0-1]`` is the 1-based block ``G~_{k0, l0}``).
+    """
+    if pc.L == 1:
+        # Degenerate single-block matrix: M = I + B_1.
+        A = np.array(pc.block(1), copy=True)
+        kr.add_identity(A)
+        G = kr.solve(A, np.eye(pc.N, dtype=pc.dtype))
+        return G[None, None]
+    f = bsofi_qr(pc)
+    G = _r_inverse(f)
+    return _apply_qt(G, f)
+
+
+def bsofi_flops(b: int, N: int) -> float:
+    """Closed-form BSOFI cost ``7 b^2 N^3`` (Sec. II-C)."""
+    if b < 1:
+        raise ValueError(f"b must be >= 1, got {b}")
+    return 7.0 * b * b * N**3

@@ -1,0 +1,128 @@
+"""The FSI driver (Alg. 1): ``CLS -> BSOFI -> WRP``.
+
+:func:`fsi` is the library's headline entry point — it computes a
+selected inversion of a block p-cyclic matrix in
+``O((2(c-1) + 7b) b N^3)`` to ``O(3 b L N^3)`` flops depending on the
+pattern, versus ``O(b L^2 N^3)`` for the explicit form and
+``O((NL)^3)`` for a full dense inversion.
+
+Stages are tagged ``"cls"``, ``"bsofi"`` and ``"wrp"`` on the active
+:class:`~repro.perf.tracer.FlopTracer` so per-stage rates (Fig. 8 top)
+can be reconstructed from real runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perf.tracer import FlopTracer, current_tracers
+from .adjacency import AdjacencyOps
+from .bsofi import bsofi, bsofi_flops
+from .cls import cls, cls_flops
+from .patterns import Pattern, SelectedInversion, Selection
+from .pcyclic import BlockPCyclic
+from .wrap import wrap, wrap_flops
+
+__all__ = ["fsi", "fsi_flops", "FSIResult"]
+
+
+@dataclass
+class FSIResult:
+    """Selected inversion plus the intermediates some callers reuse.
+
+    Attributes
+    ----------
+    selected:
+        The requested :class:`SelectedInversion`.
+    seeds:
+        The ``(b, b, N, N)`` inverse of the reduced matrix (every block
+        an exact block of ``G``) — DQMC measurement code often wants
+        these *in addition* to the wrapped pattern.
+    selection:
+        Pattern + geometry actually used (includes the drawn ``q``).
+    ops:
+        The adjacency operator with its LU caches, reusable for further
+        wrapping on the same matrix.
+    """
+
+    selected: SelectedInversion
+    seeds: np.ndarray
+    selection: Selection
+    ops: AdjacencyOps
+
+
+def fsi(
+    pc: BlockPCyclic,
+    c: int,
+    pattern: Pattern = Pattern.COLUMNS,
+    q: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    num_threads: int | None = None,
+) -> FSIResult:
+    """Fast selected inversion of a block p-cyclic matrix (Alg. 1).
+
+    Parameters
+    ----------
+    pc:
+        The normalized block p-cyclic matrix ``M`` (e.g. a Hubbard
+        matrix from :mod:`repro.hubbard`).
+    c:
+        Cluster size (must divide ``L``).  The paper recommends
+        ``c ~ sqrt(L)``; larger ``c`` reduces more but loses precision.
+    pattern:
+        Which blocks of ``G = M^{-1}`` to produce (S1-S4 or
+        FULL_DIAGONAL).
+    q:
+        Offset in ``{0..c-1}``; drawn uniformly when ``None`` (the
+        paper randomises ``q`` per Green's function so measurements
+        sample block offsets uniformly).
+    rng:
+        Source of randomness for ``q``.
+    num_threads:
+        OpenMP-style team size for the CLS and WRP loops.
+
+    Returns
+    -------
+    FSIResult
+    """
+    L = pc.L
+    if c < 1 or L % c != 0:
+        raise ValueError(f"c={c} must be a positive divisor of L={L}")
+    if q is None:
+        q = int(np.random.default_rng(rng).integers(0, c))
+    selection = Selection(pattern, L=L, c=c, q=q)
+
+    tracers = current_tracers()
+    tracer = tracers[-1] if tracers else None
+
+    def staged(name: str):
+        if tracer is not None:
+            return tracer.stage(name)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    with staged("cls"):
+        reduced = cls(pc, c, q, num_threads=num_threads)
+    with staged("bsofi"):
+        seeds = bsofi(reduced)
+    ops = AdjacencyOps(pc)
+    with staged("wrp"):
+        selected = wrap(pc, seeds, selection, num_threads=num_threads, ops=ops)
+    return FSIResult(selected=selected, seeds=seeds, selection=selection, ops=ops)
+
+
+def fsi_flops(L: int, N: int, c: int, pattern: Pattern) -> float:
+    """Closed-form FSI cost for a pattern (the Sec. II-C table).
+
+    ``CLS + BSOFI + WRP``:
+
+    * S1 diagonals:      ``[2(c-1) + 7b] b N^3``
+    * S2 sub-diagonals:  ``[2c + 7b] b N^3`` (one extra move per seed)
+    * S3/S4 cols/rows:   ``2b(c-1)N^3 + 7b^2 N^3 + 3(bL - b^2) N^3``
+      (the paper's table keeps only the dominant ``3 b^2 c N^3`` term)
+    """
+    base = cls_flops(L, N, c) + bsofi_flops(L // c, N)
+    return base + wrap_flops(L, N, c, pattern)

@@ -1,0 +1,238 @@
+"""Selection patterns S1-S4 and the selected-inversion container.
+
+Sec. II-B defines four patterns over the block index set
+
+    ``I = {c - q, 2c - q, ..., bc - q}``,  ``b = L / c``,
+    ``q`` uniform in ``{0, ..., c-1}``
+
+(``q`` randomised per Green's function so that, across a Monte Carlo
+run, every block offset is sampled uniformly):
+
+* **S1** — ``b`` diagonal blocks ``{G_kk : k in I}``;
+* **S2** — sub-diagonal blocks ``{G_{k,k+1} : k in I - {L}}``
+  (``b`` blocks when ``q != 0``, else ``b - 1``);
+* **S3** — ``b`` block columns ``{G_kl : 1 <= k <= L, l in I}``;
+* **S4** — ``b`` block rows ``{G_kl : k in I, 1 <= l <= L}``.
+
+We additionally provide **FULL_DIAGONAL** (every ``G_kk``), which the
+DQMC equal-time measurements consume (Sec. V-C computes "all diagonal
+blocks, b block rows and b block columns").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from .pcyclic import torus_index
+
+__all__ = ["Pattern", "Selection", "SelectedInversion", "seed_indices"]
+
+
+class Pattern(Enum):
+    """The selected-inversion shapes of Sec. II-B."""
+
+    DIAGONAL = "diagonal"          # S1
+    SUBDIAGONAL = "subdiagonal"    # S2
+    COLUMNS = "columns"            # S3
+    ROWS = "rows"                  # S4
+    FULL_DIAGONAL = "full_diagonal"  # every diagonal block (DQMC equal-time)
+
+
+def seed_indices(L: int, c: int, q: int) -> list[int]:
+    """The index set ``I = {c-q, 2c-q, ..., bc-q}`` (1-based, ascending).
+
+    ``c`` must divide ``L`` and ``0 <= q <= c-1``.
+    """
+    if c < 1 or L % c != 0:
+        raise ValueError(f"c={c} must be a positive divisor of L={L}")
+    if not 0 <= q <= c - 1:
+        raise ValueError(f"q={q} must lie in [0, {c - 1}]")
+    b = L // c
+    return [c * i - q for i in range(1, b + 1)]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A fully specified selection: pattern + geometry ``(L, c, q)``."""
+
+    pattern: Pattern
+    L: int
+    c: int
+    q: int
+
+    def __post_init__(self) -> None:
+        seed_indices(self.L, self.c, self.q)  # validates L, c, q
+
+    @property
+    def b(self) -> int:
+        return self.L // self.c
+
+    @property
+    def seeds(self) -> list[int]:
+        """The index set ``I``."""
+        return seed_indices(self.L, self.c, self.q)
+
+    # ------------------------------------------------------------------
+    def block_indices(self) -> list[tuple[int, int]]:
+        """All ``(k, l)`` block positions in this selection (1-based)."""
+        I = self.seeds
+        L = self.L
+        p = self.pattern
+        if p is Pattern.DIAGONAL:
+            return [(k, k) for k in I]
+        if p is Pattern.SUBDIAGONAL:
+            return [(k, k + 1) for k in I if k != L]
+        if p is Pattern.COLUMNS:
+            return [(k, l) for l in I for k in range(1, L + 1)]
+        if p is Pattern.ROWS:
+            return [(k, l) for k in I for l in range(1, L + 1)]
+        if p is Pattern.FULL_DIAGONAL:
+            return [(k, k) for k in range(1, L + 1)]
+        raise AssertionError(f"unhandled pattern {p}")  # pragma: no cover
+
+    def count(self) -> int:
+        """Number of selected blocks (the Sec. II-B table)."""
+        b, L = self.b, self.L
+        p = self.pattern
+        if p is Pattern.DIAGONAL:
+            return b
+        if p is Pattern.SUBDIAGONAL:
+            return b if self.q != 0 else b - 1
+        if p in (Pattern.COLUMNS, Pattern.ROWS):
+            return b * L
+        if p is Pattern.FULL_DIAGONAL:
+            return L
+        raise AssertionError(f"unhandled pattern {p}")  # pragma: no cover
+
+    def reduction_factor(self) -> float:
+        """Memory reduction vs. storing all ``L^2`` blocks of ``G``.
+
+        Matches the Sec. II-B table: ``cL`` for S1/S2, ``c`` for S3/S4.
+        """
+        return self.L**2 / self.count()
+
+
+class SelectedInversion:
+    """Computed selected blocks of ``G``, keyed by 1-based ``(k, l)``.
+
+    A thin mapping with pattern-aware accessors; blocks are the arrays
+    produced by the solver (not copies).
+    """
+
+    def __init__(
+        self,
+        selection: Selection,
+        blocks: Mapping[tuple[int, int], np.ndarray],
+        N: int,
+    ):
+        self.selection = selection
+        self.N = N
+        expected = set(selection.block_indices())
+        got = set(blocks)
+        if got != expected:
+            missing = sorted(expected - got)[:5]
+            extra = sorted(got - expected)[:5]
+            raise ValueError(
+                f"block set does not match pattern: missing {missing},"
+                f" unexpected {extra}"
+            )
+        self._blocks = dict(blocks)
+
+    # -- mapping interface --------------------------------------------
+    def __getitem__(self, kl: tuple[int, int]) -> np.ndarray:
+        k, l = kl
+        L = self.selection.L
+        return self._blocks[(torus_index(k, L), torus_index(l, L))]
+
+    def __contains__(self, kl: tuple[int, int]) -> bool:
+        k, l = kl
+        L = self.selection.L
+        return (torus_index(k, L), torus_index(l, L)) in self._blocks
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def items(self):
+        return self._blocks.items()
+
+    # -- structured accessors -------------------------------------------
+    def column(self, l: int) -> np.ndarray:
+        """Stacked block column ``l`` as ``(L, N, N)`` (COLUMNS pattern)."""
+        L = self.selection.L
+        l = torus_index(l, L)
+        return np.stack([self._blocks[(k, l)] for k in range(1, L + 1)])
+
+    def row(self, k: int) -> np.ndarray:
+        """Stacked block row ``k`` as ``(L, N, N)`` (ROWS pattern)."""
+        L = self.selection.L
+        k = torus_index(k, L)
+        return np.stack([self._blocks[(k, l)] for l in range(1, L + 1)])
+
+    def diagonal_blocks(self) -> dict[int, np.ndarray]:
+        """All selected diagonal blocks ``{k: G_kk}``."""
+        return {k: v for (k, l), v in self._blocks.items() if k == l}
+
+    def memory_bytes(self) -> int:
+        return sum(v.nbytes for v in self._blocks.values())
+
+    # -- verification ------------------------------------------------------
+    def max_relative_error(self, G_dense: np.ndarray) -> float:
+        """Worst blockwise relative Frobenius error vs. a dense oracle.
+
+        ``G_dense`` is the full ``(N*L, N*L)`` inverse; mirrors the
+        validation metric of Sec. V-A.
+        """
+        N = self.N
+        worst = 0.0
+        for (k, l), blk in self._blocks.items():
+            ref = G_dense[(k - 1) * N : k * N, (l - 1) * N : l * N]
+            denom = np.linalg.norm(ref)
+            err = np.linalg.norm(blk - ref) / (denom if denom > 0 else 1.0)
+            worst = max(worst, float(err))
+        return worst
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.selection
+        return (
+            f"SelectedInversion({s.pattern.value}, L={s.L}, c={s.c}, q={s.q},"
+            f" blocks={len(self)})"
+        )
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialise to a single ``.npz`` (pattern, geometry, blocks).
+
+        Measurement pipelines often compute selected inversions on one
+        allocation and analyse them on another; this is the wire format.
+        """
+        keys = sorted(self._blocks)
+        stacked = np.stack([self._blocks[kl] for kl in keys])
+        np.savez_compressed(
+            path,
+            pattern=np.frombuffer(
+                self.selection.pattern.value.encode(), dtype=np.uint8
+            ),
+            geometry=np.array(
+                [self.selection.L, self.selection.c, self.selection.q, self.N]
+            ),
+            keys=np.array(keys, dtype=np.int64),
+            blocks=stacked,
+        )
+
+    @classmethod
+    def load(cls, path) -> "SelectedInversion":
+        """Rebuild a :meth:`save`d selected inversion."""
+        data = np.load(path)
+        pattern = Pattern(bytes(data["pattern"]).decode())
+        L, c, q, N = (int(v) for v in data["geometry"])
+        selection = Selection(pattern, L=L, c=c, q=q)
+        keys = [tuple(int(v) for v in row) for row in data["keys"]]
+        blocks = {kl: blk for kl, blk in zip(keys, data["blocks"])}
+        return cls(selection, blocks, N)

@@ -1,0 +1,211 @@
+"""WRP — the wrapping stage of FSI (Alg. 2).
+
+CLS + BSOFI leave us with the ``b x b`` seed grid
+``G~_{k0,l0} = G_{c*k0-q, c*l0-q}`` (Eq. (8)).  Wrapping grows each seed
+into its ``c - 1`` missing neighbours with the adjacency relations of
+Eqs. (4)-(7) until the requested selection pattern is covered:
+
+* **COLUMNS** (S3): each seed expands *vertically*; following Alg. 2 the
+  walk is split into an upward half (``ceil((c-1)/2)`` solves, Eq. (4))
+  and a downward half (``floor((c-1)/2)`` gemms, Eq. (5)) so that no
+  block is more than ``~c/2`` relation-applications away from an exact
+  seed — this bounds the accumulated floating-point error, which is the
+  stated reason the paper splits the loop.
+* **ROWS** (S4): the transpose walk — leftward gemms (Eq. (6)) and
+  rightward solves (Eq. (7)).
+* **DIAGONAL** (S1) / **SUBDIAGONAL** (S2): the seeds *are* the
+  diagonal selection; the sub-diagonal follows with one rightward move
+  per seed.
+* **FULL_DIAGONAL**: every ``G_kk``; each diagonal seed walks along the
+  diagonal (composed moves, Sec. II-A last paragraph:
+  ``G_{k+1,l+1} = B_{k+1} G_kl B_{l+1}^{-1}``), again split up/down.
+
+Note on loop bounds: Alg. 2 as printed walks ``ceil((c-1)/2)`` up and
+``ceil(c/2)`` down, which for even ``c`` recomputes one block that the
+next seed also produces.  We use ``ceil((c-1)/2)`` up / ``floor((c-1)/2)``
+down — the same error radius, exact tiling, no duplicates.
+
+The ``b^2`` seed walks are data-independent; like the paper we hand one
+walk per OpenMP-style task (``parallel_for`` over seeds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.openmp import parallel_for
+from .adjacency import AdjacencyOps
+from .patterns import Pattern, SelectedInversion, Selection
+from .pcyclic import BlockPCyclic, torus_index
+
+__all__ = ["wrap", "wrap_flops"]
+
+
+def _up_down_steps(c: int) -> tuple[int, int]:
+    """Split the ``c - 1`` neighbour moves into (up, down) halves."""
+    up = (c - 1 + 1) // 2  # ceil((c-1)/2)
+    return up, (c - 1) - up
+
+
+def wrap(
+    pc: BlockPCyclic,
+    G_seeds: np.ndarray,
+    selection: Selection,
+    num_threads: int | None = None,
+    ops: AdjacencyOps | None = None,
+) -> SelectedInversion:
+    """Grow the seed grid into the requested selected inversion.
+
+    Parameters
+    ----------
+    pc:
+        The *original* (un-reduced) block p-cyclic matrix; wrapping
+        moves use its ``B`` blocks.
+    G_seeds:
+        The ``(b, b, N, N)`` output of :func:`repro.core.bsofi.bsofi`
+        on the CLS-reduced matrix.
+    selection:
+        Pattern + ``(L, c, q)`` geometry.  Must be consistent with the
+        seed grid shape (``b = L / c``).
+    num_threads:
+        Team size for the seed loop.
+    ops:
+        Optional pre-built :class:`AdjacencyOps` (shares LU caches
+        across calls for the same matrix).
+
+    Returns
+    -------
+    SelectedInversion
+    """
+    L, N = pc.L, pc.N
+    c, q = selection.c, selection.q
+    b = L // c
+    if selection.L != L:
+        raise ValueError(f"selection L={selection.L} != matrix L={L}")
+    if G_seeds.shape != (b, b, N, N):
+        raise ValueError(
+            f"seed grid shape {G_seeds.shape} != expected {(b, b, N, N)}"
+        )
+    if ops is None:
+        ops = AdjacencyOps(pc)
+    out: dict[tuple[int, int], np.ndarray] = {}
+    seeds = selection.seeds  # [c-q, 2c-q, ..., bc-q]
+
+    pattern = selection.pattern
+    if pattern is Pattern.DIAGONAL:
+        for k0, k in enumerate(seeds, start=1):
+            out[(k, k)] = np.array(G_seeds[k0 - 1, k0 - 1], copy=True)
+        return SelectedInversion(selection, out, N)
+
+    if pattern is Pattern.SUBDIAGONAL:
+        # One rightward move from each diagonal seed (skip k = L, whose
+        # "sub-diagonal" would be the corner).
+        results: list[tuple[int, np.ndarray] | None] = [None] * b
+        todo = [
+            (k0, k) for k0, k in enumerate(seeds, start=1) if k != L
+        ]
+
+        def sub_body(idx: int) -> None:
+            k0, k = todo[idx]
+            g = ops.right(G_seeds[k0 - 1, k0 - 1], k, k)
+            results[idx] = (k, g)
+
+        parallel_for(sub_body, len(todo), num_threads=num_threads)
+        for item in results[: len(todo)]:
+            assert item is not None
+            k, g = item
+            out[(k, torus_index(k + 1, L))] = g
+        return SelectedInversion(selection, out, N)
+
+    up_steps, down_steps = _up_down_steps(c)
+
+    if pattern in (Pattern.COLUMNS, Pattern.ROWS):
+        # b^2 independent seed walks, each producing c-1 blocks.
+        tasks = [
+            (k0, l0) for k0 in range(1, b + 1) for l0 in range(1, b + 1)
+        ]
+        chunks: list[dict[tuple[int, int], np.ndarray]] = [
+            {} for _ in tasks
+        ]
+
+        def walk_body(idx: int) -> None:
+            k0, l0 = tasks[idx]
+            local = chunks[idx]
+            k, l = c * k0 - q, c * l0 - q
+            seed = G_seeds[k0 - 1, l0 - 1]
+            local[(k, l)] = np.array(seed, copy=True)
+            if pattern is Pattern.COLUMNS:
+                g, kk = seed, k
+                for _ in range(up_steps):  # Eq. (4), solves
+                    g = ops.up(g, kk, l)
+                    kk = torus_index(kk - 1, L)
+                    local[(kk, l)] = g
+                g, kk = seed, k
+                for _ in range(down_steps):  # Eq. (5), gemms
+                    g = ops.down(g, kk, l)
+                    kk = torus_index(kk + 1, L)
+                    local[(kk, l)] = g
+            else:  # ROWS: expand horizontally
+                g, ll = seed, l
+                for _ in range(up_steps):  # Eq. (6), gemms (leftward)
+                    g = ops.left(g, k, ll)
+                    ll = torus_index(ll - 1, L)
+                    local[(k, ll)] = g
+                g, ll = seed, l
+                for _ in range(down_steps):  # Eq. (7), solves (rightward)
+                    g = ops.right(g, k, ll)
+                    ll = torus_index(ll + 1, L)
+                    local[(k, ll)] = g
+
+        parallel_for(walk_body, len(tasks), num_threads=num_threads)
+        for local in chunks:
+            out.update(local)
+        return SelectedInversion(selection, out, N)
+
+    if pattern is Pattern.FULL_DIAGONAL:
+        chunks = [{} for _ in range(b)]
+
+        def diag_body(i0: int) -> None:
+            k0 = i0 + 1
+            local = chunks[i0]
+            k = c * k0 - q
+            seed = G_seeds[k0 - 1, k0 - 1]
+            local[(k, k)] = np.array(seed, copy=True)
+            g, kk = seed, k
+            for _ in range(up_steps):
+                g = ops.up_left(g, kk, kk)
+                kk = torus_index(kk - 1, L)
+                local[(kk, kk)] = g
+            g, kk = seed, k
+            for _ in range(down_steps):
+                g = ops.down_right(g, kk, kk)
+                kk = torus_index(kk + 1, L)
+                local[(kk, kk)] = g
+
+        parallel_for(diag_body, b, num_threads=num_threads)
+        for local in chunks:
+            out.update(local)
+        return SelectedInversion(selection, out, N)
+
+    raise AssertionError(f"unhandled pattern {pattern}")  # pragma: no cover
+
+
+def wrap_flops(L: int, N: int, c: int, pattern: Pattern) -> float:
+    """Closed-form wrapping cost (Sec. II-C).
+
+    ``b`` block columns/rows need ``bL - b^2`` new blocks at ~``3 N^3``
+    each (one gemm or one LU solve per block); the diagonal patterns
+    need at most one move per seed.
+    """
+    if c < 1 or L % c != 0:
+        raise ValueError(f"c={c} must be a positive divisor of L={L}")
+    b = L // c
+    if pattern is Pattern.DIAGONAL:
+        return 0.0
+    if pattern is Pattern.SUBDIAGONAL:
+        return 3.0 * b * N**3
+    if pattern in (Pattern.COLUMNS, Pattern.ROWS):
+        return 3.0 * (b * L - b * b) * N**3
+    if pattern is Pattern.FULL_DIAGONAL:
+        return 2.0 * 3.0 * (L - b) * N**3  # two moves per new diagonal block
+    raise ValueError(f"unhandled pattern {pattern}")

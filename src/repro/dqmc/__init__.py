@@ -1,0 +1,99 @@
+"""DQMC simulation substrate: sweeps, stabilisation, measurements."""
+
+from .autocorr import (
+    autocorrelation_function,
+    binning_scan,
+    effective_sample_size,
+    geweke_z,
+    integrated_autocorrelation_time,
+)
+from .correlations import (
+    afm_structure_factor,
+    charge_correlation,
+    density_density,
+    pairing_correlation,
+    structure_factor,
+)
+from .checkpoint import load_checkpoint, save_checkpoint
+from .delayed import DelayedGreens
+from .ed import ExactDiagonalization
+from .fourier import from_distance_classes, lattice_momenta, structure_factor_grid
+from .engine import DQMC, DQMCConfig, DQMCResult, GreensBundle
+from .parallel_chains import ChainResult, gelman_rubin, run_parallel_chains
+from .measurements import (
+    EqualTimeAccumulator,
+    EqualTimeMeasurement,
+    density_profile,
+    measure_slice,
+    moment_profile,
+)
+from .spxx import SPXXResult, spxx, spxx_pairs, temporal_distance
+from .stabilize import UDT, stable_equal_time, stable_inverse_plus, udt_chain
+from .stats import BinnedSeries, BinningAnalysis, jackknife, jackknife_ratio
+from .tdm import BlockPairAccumulator, local_greens_tau, pairing_tau, szz_tau
+from .trotter import ExtrapolationResult, extrapolate, richardson
+from .updates import (
+    UpdateStats,
+    advance_slice,
+    apply_flip,
+    gamma_factor,
+    init_wrapped,
+    metropolis_ratio,
+)
+
+__all__ = [
+    "DQMC",
+    "DelayedGreens",
+    "load_checkpoint",
+    "save_checkpoint",
+    "ChainResult",
+    "gelman_rubin",
+    "run_parallel_chains",
+    "ExactDiagonalization",
+    "BlockPairAccumulator",
+    "local_greens_tau",
+    "szz_tau",
+    "pairing_tau",
+    "jackknife_ratio",
+    "ExtrapolationResult",
+    "extrapolate",
+    "richardson",
+    "from_distance_classes",
+    "lattice_momenta",
+    "structure_factor_grid",
+    "geweke_z",
+    "afm_structure_factor",
+    "autocorrelation_function",
+    "binning_scan",
+    "charge_correlation",
+    "density_density",
+    "effective_sample_size",
+    "integrated_autocorrelation_time",
+    "pairing_correlation",
+    "structure_factor",
+    "DQMCConfig",
+    "DQMCResult",
+    "GreensBundle",
+    "EqualTimeAccumulator",
+    "EqualTimeMeasurement",
+    "measure_slice",
+    "density_profile",
+    "moment_profile",
+    "SPXXResult",
+    "spxx",
+    "spxx_pairs",
+    "temporal_distance",
+    "UDT",
+    "stable_equal_time",
+    "stable_inverse_plus",
+    "udt_chain",
+    "BinnedSeries",
+    "BinningAnalysis",
+    "jackknife",
+    "UpdateStats",
+    "advance_slice",
+    "apply_flip",
+    "gamma_factor",
+    "init_wrapped",
+    "metropolis_ratio",
+]

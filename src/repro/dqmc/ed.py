@@ -1,0 +1,164 @@
+"""Exact diagonalisation (ED) of small Hubbard clusters — the oracle.
+
+Sec. I: model Hamiltonians "can be solved exactly on very small
+clusters of N ~ 10 sites by explicitly enumerating all the states of
+the quantum system, and diagonalizing a matrix whose dimension grows
+exponentially with N".  This module implements exactly that, giving
+the reproduction an *independent physics oracle*: DQMC estimates on a
+small cluster must agree with ED thermal expectation values within
+their statistical error bars (up to the ``O(dtau^2)`` Trotter bias).
+
+The Hamiltonian (grand canonical, the convention of
+:class:`repro.hubbard.matrix.HubbardModel`):
+
+    ``H = -t sum_<ij>,s (c_is^dag c_js + h.c.)
+          + U sum_i (n_iu - 1/2)(n_id - 1/2) - mu sum_i (n_iu + n_id)``
+
+(the particle-hole symmetric interaction form, under which ``mu = 0``
+is half filling — matching the HS transformation used by the DQMC
+engine).
+
+States are occupation bitmasks per spin; the full Hilbert space has
+``4^N`` states, fine up to ``N ~ 6-8`` sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..hubbard.matrix import HubbardModel
+
+__all__ = ["ExactDiagonalization"]
+
+
+def _bit(state: int, site: int) -> int:
+    return (state >> site) & 1
+
+
+def _fermion_sign(state: int, site: int) -> float:
+    """Sign from commuting ``c_site`` past the occupied lower sites."""
+    return -1.0 if bin(state & ((1 << site) - 1)).count("1") % 2 else 1.0
+
+
+@dataclass
+class ExactDiagonalization:
+    """Full-spectrum ED of a Hubbard model on its lattice.
+
+    Only the model's geometry, ``t``, ``U`` and ``mu`` matter; ``L`` /
+    ``beta`` enter at evaluation time so one spectrum serves every
+    temperature.
+    """
+
+    model: HubbardModel
+
+    def __post_init__(self) -> None:
+        if self.model.N > 8:
+            raise ValueError(
+                f"ED Hilbert space 4^{self.model.N} is too large (N <= 8)"
+            )
+
+    @property
+    def n_sites(self) -> int:
+        return self.model.N
+
+    @property
+    def dim(self) -> int:
+        return 4**self.n_sites
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def _spectrum(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eigenvalues and eigenvectors of ``H`` over the full Fock space.
+
+        A state index encodes ``(up_mask, dn_mask)`` as
+        ``idx = up + 2^N * dn``.
+        """
+        N = self.n_sites
+        dim_spin = 1 << N
+        model = self.model
+        K = model.lattice.adjacency
+        H = np.zeros((self.dim, self.dim))
+        bonds = [
+            (i, j)
+            for i in range(N)
+            for j in range(i + 1, N)
+            if K[i, j] != 0.0
+        ]
+        mu = np.broadcast_to(np.asarray(model.mu, dtype=float), (N,))
+        for up in range(dim_spin):
+            n_up = [_bit(up, i) for i in range(N)]
+            for dn in range(dim_spin):
+                idx = up + dim_spin * dn
+                n_dn = [_bit(dn, i) for i in range(N)]
+                # Diagonal: interaction + chemical potential (possibly
+                # site-dependent: the disordered model).
+                diag = 0.0
+                for i in range(N):
+                    diag += model.U * (n_up[i] - 0.5) * (n_dn[i] - 0.5)
+                    diag -= mu[i] * (n_up[i] + n_dn[i])
+                H[idx, idx] += diag
+                # Hopping, spin up: c_i^dag c_j moves a fermion j -> i.
+                for i, j in bonds:
+                    for a, b in ((i, j), (j, i)):
+                        if n_up[b] and not n_up[a]:
+                            new_up = up ^ (1 << b) ^ (1 << a)
+                            sign = _fermion_sign(up, b) * _fermion_sign(
+                                up ^ (1 << b), a
+                            )
+                            H[new_up + dim_spin * dn, idx] += -model.t * sign
+                        if n_dn[b] and not n_dn[a]:
+                            new_dn = dn ^ (1 << b) ^ (1 << a)
+                            sign = _fermion_sign(dn, b) * _fermion_sign(
+                                dn ^ (1 << b), a
+                            )
+                            H[up + dim_spin * new_dn, idx] += -model.t * sign
+        if not np.allclose(H, H.T, atol=1e-12):  # pragma: no cover
+            raise AssertionError("H must be symmetric")
+        w, V = np.linalg.eigh(H)
+        return w, V
+
+    # ------------------------------------------------------------------
+    def thermal_expectation(self, operator_diag: np.ndarray, beta: float) -> float:
+        """``<O>`` for an operator diagonal in the occupation basis."""
+        w, V = self._spectrum
+        weights = np.exp(-beta * (w - w.min()))
+        Z = weights.sum()
+        # <n|O|n> for eigenstate n: sum_s |V[s, n]|^2 O_ss.
+        O_eig = np.einsum("sn,s,sn->n", V, operator_diag, V)
+        return float((weights * O_eig).sum() / Z)
+
+    def _occupation_diagonals(self) -> tuple[np.ndarray, np.ndarray]:
+        N = self.n_sites
+        dim_spin = 1 << N
+        up_counts = np.array([bin(s).count("1") for s in range(dim_spin)])
+        n_up = np.repeat(up_counts[None, :], dim_spin, axis=0).T.reshape(-1)
+        n_dn = np.repeat(up_counts[None, :], dim_spin, axis=0).reshape(-1)
+        return n_up.astype(float), n_dn.astype(float)
+
+    def density(self, beta: float) -> float:
+        """``<n> = <n_up + n_dn>`` per site."""
+        n_up, n_dn = self._occupation_diagonals()
+        return self.thermal_expectation(n_up + n_dn, beta) / self.n_sites
+
+    def double_occupancy(self, beta: float) -> float:
+        """``<n_up n_dn>`` per site."""
+        N = self.n_sites
+        dim_spin = 1 << N
+        docc = np.zeros(self.dim)
+        for up in range(dim_spin):
+            for dn in range(dim_spin):
+                docc[up + dim_spin * dn] = bin(up & dn).count("1")
+        return self.thermal_expectation(docc, beta) / N
+
+    def local_moment(self, beta: float) -> float:
+        """``<(n_up - n_dn)^2>`` per site."""
+        return self.density(beta) - 2.0 * self.double_occupancy(beta)
+
+    def energy(self, beta: float) -> float:
+        """Total thermal energy ``<H>``."""
+        w, _ = self._spectrum
+        weights = np.exp(-beta * (w - w.min()))
+        return float((weights * w).sum() / weights.sum())

@@ -1,0 +1,117 @@
+"""Trotter-error extrapolation ``dtau -> 0``.
+
+DQMC observables carry a systematic ``O(dtau^2)`` bias from the
+Suzuki–Trotter splitting of the Boltzmann factor (the asymmetric
+``e^{-dtau K} e^{-dtau V}`` used here).  Production studies therefore
+run several ``L`` at fixed ``beta`` and extrapolate.  This module does
+the fit:
+
+* :func:`extrapolate` — weighted least squares of
+  ``O(dtau) = O_0 + a dtau^2`` (optionally higher orders), returning
+  the ``dtau -> 0`` value with its standard error;
+* :func:`richardson` — the two-point Richardson shortcut.
+
+The ED cross-validation (``tests/test_trotter.py``) shows the
+extrapolated DQMC double occupancy landing closer to the exact value
+than any single-``dtau`` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ExtrapolationResult", "extrapolate", "richardson"]
+
+
+@dataclass(frozen=True)
+class ExtrapolationResult:
+    """Outcome of a ``dtau -> 0`` fit."""
+
+    value: float
+    error: float
+    coefficients: np.ndarray
+    residual: float
+
+    def within(self, reference: float, n_sigma: float = 3.0) -> bool:
+        """Is ``reference`` within ``n_sigma`` of the extrapolated value?"""
+        return abs(self.value - reference) <= n_sigma * max(self.error, 1e-300)
+
+
+def extrapolate(
+    dtaus: np.ndarray,
+    values: np.ndarray,
+    errors: np.ndarray | None = None,
+    order: int = 1,
+) -> ExtrapolationResult:
+    """Fit ``O(dtau) = O_0 + a_1 dtau^2 + ... + a_order dtau^{2 order}``.
+
+    Parameters
+    ----------
+    dtaus, values:
+        The measured points (at least ``order + 1`` of them).
+    errors:
+        Optional 1-sigma statistical errors (weights ``1/err^2``);
+        uniform weights when omitted.
+    order:
+        Number of even powers beyond the constant (1 = pure ``dtau^2``).
+
+    Returns
+    -------
+    ExtrapolationResult
+        ``value``/``error`` are the ``dtau -> 0`` intercept and its
+        standard error from the weighted normal equations.
+    """
+    dtaus = np.asarray(dtaus, dtype=float)
+    values = np.asarray(values, dtype=float)
+    n = len(dtaus)
+    if n != len(values):
+        raise ValueError("dtaus and values must have equal length")
+    if n < order + 1:
+        raise ValueError(
+            f"need at least {order + 1} points for order {order}, got {n}"
+        )
+    if errors is None:
+        w = np.ones(n)
+    else:
+        errors = np.asarray(errors, dtype=float)
+        if np.any(errors <= 0):
+            raise ValueError("errors must be positive")
+        w = 1.0 / errors**2
+    # Design matrix in dtau^2 powers.
+    X = np.stack([dtaus ** (2 * p) for p in range(order + 1)], axis=1)
+    WX = X * w[:, None]
+    A = X.T @ WX
+    b = WX.T @ values
+    coef = np.linalg.solve(A, b)
+    cov = np.linalg.inv(A)
+    resid = values - X @ coef
+    # Scale covariance by reduced chi^2 when fitting unweighted data
+    # with dof left; with supplied errors report the propagated error.
+    dof = n - (order + 1)
+    if errors is None and dof > 0:
+        scale = float(resid @ resid) / dof
+        cov = cov * scale
+    return ExtrapolationResult(
+        value=float(coef[0]),
+        error=float(np.sqrt(max(cov[0, 0], 0.0))),
+        coefficients=coef,
+        residual=float(np.sqrt(np.mean(resid**2))),
+    )
+
+
+def richardson(
+    dtau_coarse: float,
+    value_coarse: float,
+    dtau_fine: float,
+    value_fine: float,
+) -> float:
+    """Two-point ``O(dtau^2)`` Richardson extrapolation.
+
+    ``O_0 = (r^2 O_fine - O_coarse) / (r^2 - 1)``, ``r = coarse/fine``.
+    """
+    if dtau_fine >= dtau_coarse:
+        raise ValueError("dtau_fine must be smaller than dtau_coarse")
+    r2 = (dtau_coarse / dtau_fine) ** 2
+    return float((r2 * value_fine - value_coarse) / (r2 - 1.0))

@@ -1,0 +1,25 @@
+"""Hubbard-model substrate: lattice, propagators, HS fields, matrices."""
+
+from .checkerboard import CheckerboardPropagator, bond_groups
+from .cubic import CubicLattice
+from .honeycomb import HoneycombLattice
+from .hs_field import HSField
+from .kinetic import KineticPropagator
+from .lattice import RectangularLattice
+from .matrix import HubbardModel, build_hubbard_matrix, hs_coupling
+from .twisted import TwistedHubbardModel, twisted_adjacency
+
+__all__ = [
+    "CheckerboardPropagator",
+    "CubicLattice",
+    "HoneycombLattice",
+    "HSField",
+    "HubbardModel",
+    "KineticPropagator",
+    "RectangularLattice",
+    "TwistedHubbardModel",
+    "bond_groups",
+    "build_hubbard_matrix",
+    "hs_coupling",
+    "twisted_adjacency",
+]

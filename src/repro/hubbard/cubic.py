@@ -1,0 +1,129 @@
+"""Three-dimensional periodic cubic lattices.
+
+QUEST's default geometry is the 2-D rectangle the paper uses, but the
+DQMC formalism is dimension-agnostic — only the hopping matrix ``K``
+and the spatial distance classes change.  This module provides the 3-D
+periodic cubic lattice with the same interface as
+:class:`repro.hubbard.lattice.RectangularLattice` (``nsites``,
+``adjacency``, ``coords``, ``displacement_table``,
+``distance_classes``, ``pairs_in_class``), so every downstream
+component — matrix assembly, the DQMC engine, all measurements — works
+unchanged (duck typing; asserted in ``tests/test_cubic.py``).
+
+The 3-D half-filled Hubbard model has a genuine finite-temperature
+Néel transition, making this the natural next geometry for the
+library's users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["CubicLattice"]
+
+
+@dataclass(frozen=True)
+class CubicLattice:
+    """``nx x ny x nz`` periodic cubic lattice.
+
+    Site indexing: ``i = x + nx * (y + ny * z)``.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError(
+                f"extents must be >= 1, got {self.nx}x{self.ny}x{self.nz}"
+            )
+
+    @property
+    def nsites(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    # -- geometry ---------------------------------------------------------
+    def site_index(self, x: int, y: int, z: int) -> int:
+        return (
+            (x % self.nx)
+            + self.nx * ((y % self.ny) + self.ny * (z % self.nz))
+        )
+
+    def coordinates(self, i: int) -> tuple[int, int, int]:
+        if not 0 <= i < self.nsites:
+            raise IndexError(f"site {i} out of range for {self.nsites} sites")
+        x = i % self.nx
+        y = (i // self.nx) % self.ny
+        z = i // (self.nx * self.ny)
+        return (x, y, z)
+
+    @cached_property
+    def coords(self) -> np.ndarray:
+        """All site coordinates, shape ``(N, 3)``."""
+        i = np.arange(self.nsites)
+        return np.column_stack(
+            (i % self.nx, (i // self.nx) % self.ny, i // (self.nx * self.ny))
+        )
+
+    def neighbors(self, i: int) -> list[int]:
+        """Nearest neighbors (periodic, deduplicated on short extents)."""
+        x, y, z = self.coordinates(i)
+        cand = [
+            self.site_index(x + 1, y, z),
+            self.site_index(x - 1, y, z),
+            self.site_index(x, y + 1, z),
+            self.site_index(x, y - 1, z),
+            self.site_index(x, y, z + 1),
+            self.site_index(x, y, z - 1),
+        ]
+        out: list[int] = []
+        for j in cand:
+            if j != i and j not in out:
+                out.append(j)
+        return out
+
+    # -- hopping matrix -----------------------------------------------------
+    @cached_property
+    def adjacency(self) -> np.ndarray:
+        N = self.nsites
+        K = np.zeros((N, N))
+        for i in range(N):
+            for j in self.neighbors(i):
+                K[i, j] = 1.0
+        return K
+
+    # -- distance classes ---------------------------------------------------
+    @cached_property
+    def displacement_table(self) -> np.ndarray:
+        """Minimum-image displacement, shape ``(N, N, 3)``."""
+        c = self.coords
+        d = c[:, None, :] - c[None, :, :]
+        for axis, extent in enumerate((self.nx, self.ny, self.nz)):
+            d[..., axis] = (d[..., axis] + extent // 2) % extent - extent // 2
+        return d
+
+    @cached_property
+    def distance_classes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Distance-class map ``D(i, j)`` and the class radii."""
+        disp = self.displacement_table
+        r2 = np.sum(disp**2, axis=-1)
+        radii2, D = np.unique(r2, return_inverse=True)
+        return D.reshape(r2.shape).astype(np.intp), np.sqrt(radii2.astype(float))
+
+    @property
+    def d_max(self) -> int:
+        return len(self.distance_classes[1])
+
+    def pairs_in_class(self, d: int) -> np.ndarray:
+        D, radii = self.distance_classes
+        if not 0 <= d < len(radii):
+            raise IndexError(f"distance class {d} out of range")
+        i, j = np.nonzero(D == d)
+        return np.column_stack((i, j))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CubicLattice({self.nx}x{self.ny}x{self.nz}, N={self.nsites})"

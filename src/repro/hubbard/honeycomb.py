@@ -1,0 +1,166 @@
+"""Periodic honeycomb lattice (two-site basis) — the graphene geometry.
+
+A qualitatively different substrate from the square lattices: two
+sublattices (A/B), coordination three, and a semimetallic ``U = 0``
+spectrum with Dirac points.  The half-filled honeycomb Hubbard model is
+a famous DQMC target (the semimetal–antiferromagnet quantum critical
+point), so supporting the geometry materially widens the library.
+
+The interface matches :class:`repro.hubbard.lattice.RectangularLattice`
+(``nsites``, ``adjacency``, ``coords``, ``displacement_table``,
+``distance_classes``, ``pairs_in_class``, ``neighbors``), so matrix
+assembly, the DQMC engine and every distance-binned measurement work
+unchanged.  Coordinates are real-valued (Bravais vectors
+``a1 = (3/2, sqrt(3)/2)``, ``a2 = (3/2, -sqrt(3)/2)`` with unit bond
+length, basis offset ``(1, 0)``), and the minimum-image displacement is
+found by scanning the nine periodic images — correct for any cell
+shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["HoneycombLattice"]
+
+_A1 = np.array([1.5, np.sqrt(3.0) / 2.0])
+_A2 = np.array([1.5, -np.sqrt(3.0) / 2.0])
+_BASIS = np.array([[0.0, 0.0], [1.0, 0.0]])  # A and B sublattice offsets
+
+
+@dataclass(frozen=True)
+class HoneycombLattice:
+    """``nx x ny`` unit cells of the periodic honeycomb lattice.
+
+    ``N = 2 nx ny`` sites; site index ``i = 2 * (cx + nx * cy) + s``
+    with sublattice ``s in {0 (A), 1 (B)}``.
+    """
+
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError(f"extents must be >= 1, got {self.nx}x{self.ny}")
+
+    @property
+    def ncells(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def nsites(self) -> int:
+        return 2 * self.ncells
+
+    # -- indexing -----------------------------------------------------------
+    def site_index(self, cx: int, cy: int, s: int) -> int:
+        if s not in (0, 1):
+            raise ValueError(f"sublattice must be 0 or 1, got {s}")
+        return 2 * ((cx % self.nx) + self.nx * (cy % self.ny)) + s
+
+    def cell_of(self, i: int) -> tuple[int, int, int]:
+        """``(cx, cy, sublattice)`` of site ``i``."""
+        if not 0 <= i < self.nsites:
+            raise IndexError(f"site {i} out of range for {self.nsites} sites")
+        cell, s = divmod(i, 2)
+        return (cell % self.nx, cell // self.nx, s)
+
+    def sublattice(self, i: int) -> int:
+        """0 for the A sublattice, 1 for B."""
+        return i % 2
+
+    @cached_property
+    def coords(self) -> np.ndarray:
+        """Real-space positions, shape ``(N, 2)`` (unit bond length)."""
+        out = np.empty((self.nsites, 2))
+        for i in range(self.nsites):
+            cx, cy, s = self.cell_of(i)
+            out[i] = cx * _A1 + cy * _A2 + _BASIS[s]
+        return out
+
+    # -- bonds ----------------------------------------------------------------
+    def neighbors(self, i: int) -> list[int]:
+        """The three nearest neighbors (opposite sublattice), deduplicated.
+
+        An A site at cell ``(cx, cy)`` bonds to B sites in cells
+        ``(cx, cy)``, ``(cx-1, cy)`` and ``(cx, cy-1)``.
+        """
+        cx, cy, s = self.cell_of(i)
+        if s == 0:
+            cand = [
+                self.site_index(cx, cy, 1),
+                self.site_index(cx - 1, cy, 1),
+                self.site_index(cx, cy - 1, 1),
+            ]
+        else:
+            cand = [
+                self.site_index(cx, cy, 0),
+                self.site_index(cx + 1, cy, 0),
+                self.site_index(cx, cy + 1, 0),
+            ]
+        out: list[int] = []
+        for j in cand:
+            if j != i and j not in out:
+                out.append(j)
+        return out
+
+    @cached_property
+    def adjacency(self) -> np.ndarray:
+        N = self.nsites
+        K = np.zeros((N, N))
+        for i in range(N):
+            for j in self.neighbors(i):
+                K[i, j] = 1.0
+        # Symmetrise: deduplication on tiny extents can drop one
+        # direction of a doubled bond.
+        K = np.maximum(K, K.T)
+        return K
+
+    # -- distances --------------------------------------------------------------
+    @cached_property
+    def displacement_table(self) -> np.ndarray:
+        """Minimum-image real-space displacement, shape ``(N, N, 2)``.
+
+        The cell is non-orthogonal, so the minimum image is found by
+        scanning the 3x3 block of periodic copies.
+        """
+        c = self.coords
+        raw = c[:, None, :] - c[None, :, :]
+        images = [
+            m * self.nx * _A1 + n * self.ny * _A2
+            for m in (-1, 0, 1)
+            for n in (-1, 0, 1)
+        ]
+        best = raw + images[0]
+        best_r2 = np.sum(best**2, axis=-1)
+        for img in images[1:]:
+            cand = raw + img
+            r2 = np.sum(cand**2, axis=-1)
+            mask = r2 < best_r2 - 1e-12
+            best = np.where(mask[..., None], cand, best)
+            best_r2 = np.where(mask, r2, best_r2)
+        return best
+
+    @cached_property
+    def distance_classes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Distance-class map and radii (rounded to break float ties)."""
+        disp = self.displacement_table
+        r2 = np.round(np.sum(disp**2, axis=-1), 9)
+        radii2, D = np.unique(r2, return_inverse=True)
+        return D.reshape(r2.shape).astype(np.intp), np.sqrt(radii2)
+
+    @property
+    def d_max(self) -> int:
+        return len(self.distance_classes[1])
+
+    def pairs_in_class(self, d: int) -> np.ndarray:
+        D, radii = self.distance_classes
+        if not 0 <= d < len(radii):
+            raise IndexError(f"distance class {d} out of range")
+        i, j = np.nonzero(D == d)
+        return np.column_stack((i, j))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HoneycombLattice({self.nx}x{self.ny} cells, N={self.nsites})"

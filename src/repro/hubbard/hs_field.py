@@ -1,0 +1,92 @@
+"""Hubbard–Stratonovich (HS) field configurations.
+
+The discrete HS transformation replaces the on-site interaction ``U``
+with an auxiliary Ising field ``h(l, i) = +/-1`` over time slices ``l``
+and sites ``i``.  A DQMC Hubbard matrix is fully parameterised by this
+field (plus static model parameters), which is what makes the parallel
+application of FSI cheap to distribute: Alg. 3 scatters the *fields*
+``h`` to MPI ranks instead of the matrices themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HSField"]
+
+
+@dataclass
+class HSField:
+    """An ``(L, N)`` array of ``+/-1`` auxiliary spins.
+
+    Mutable by design — the DQMC Metropolis sweep flips entries in
+    place.  Use :meth:`copy` to snapshot a configuration.
+    """
+
+    h: np.ndarray
+
+    def __post_init__(self) -> None:
+        h = np.asarray(self.h, dtype=np.int8)
+        if h.ndim != 2:
+            raise ValueError(f"h must be 2-D (L, N), got shape {h.shape!r}")
+        if not np.all(np.abs(h) == 1):
+            raise ValueError("HS field entries must be +1 or -1")
+        self.h = h
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls, L: int, N: int, rng: np.random.Generator | None = None
+    ) -> "HSField":
+        """Uniformly random ``+/-1`` configuration (DQMC initialisation)."""
+        rng = np.random.default_rng(rng)
+        return cls(rng.choice(np.array([-1, 1], dtype=np.int8), size=(L, N)))
+
+    @classmethod
+    def ordered(cls, L: int, N: int, value: int = 1) -> "HSField":
+        """Uniform configuration (useful for deterministic tests)."""
+        if value not in (-1, 1):
+            raise ValueError("value must be +1 or -1")
+        return cls(np.full((L, N), value, dtype=np.int8))
+
+    # ------------------------------------------------------------------
+    @property
+    def L(self) -> int:
+        return self.h.shape[0]
+
+    @property
+    def N(self) -> int:
+        return self.h.shape[1]
+
+    def flip(self, l: int, i: int) -> None:
+        """Flip the spin at time slice ``l``, site ``i`` (0-based)."""
+        self.h[l, i] = -self.h[l, i]
+
+    def slice(self, l: int) -> np.ndarray:
+        """The field on time slice ``l`` (0-based), shape ``(N,)``."""
+        return self.h[l]
+
+    def copy(self) -> "HSField":
+        return HSField(self.h.copy())
+
+    # ------------------------------------------------------------------
+    # flat (de)serialisation — the unit shipped over (Sim)MPI in Alg. 3
+    # ------------------------------------------------------------------
+    def to_buffer(self) -> np.ndarray:
+        """Flatten to a contiguous int8 buffer suitable for MPI scatter."""
+        return np.ascontiguousarray(self.h.reshape(-1))
+
+    @classmethod
+    def from_buffer(cls, buf: np.ndarray, L: int, N: int) -> "HSField":
+        """Rebuild a field from :meth:`to_buffer` output."""
+        buf = np.asarray(buf, dtype=np.int8)
+        if buf.size != L * N:
+            raise ValueError(f"buffer has {buf.size} entries, expected {L * N}")
+        return cls(buf.reshape(L, N).copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HSField):
+            return NotImplemented
+        return self.h.shape == other.h.shape and bool(np.all(self.h == other.h))

@@ -1,0 +1,72 @@
+"""Kinetic (hopping) propagator ``exp(t * dtau * K)``.
+
+Every block of a Hubbard matrix contains the same kinetic factor
+``e^{t dtau K}`` (Sec. V-A).  ``K`` is the symmetric lattice adjacency
+matrix, so the exponential is computed once per simulation through an
+eigendecomposition and cached; its inverse ``e^{-t dtau K}`` is obtained
+from the same spectral data (needed by DQMC wrapping steps
+``G -> B G B^{-1}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KineticPropagator"]
+
+
+@dataclass(frozen=True)
+class KineticPropagator:
+    """Spectral representation of ``expm(t * dtau * K)``.
+
+    Parameters
+    ----------
+    K:
+        Symmetric hopping adjacency matrix, shape ``(N, N)``.
+    t:
+        Hopping amplitude.
+    dtau:
+        Imaginary-time step ``beta / L``.
+    """
+
+    K: np.ndarray
+    t: float
+    dtau: float
+
+    def __post_init__(self) -> None:
+        K = np.asarray(self.K, dtype=np.float64)
+        if K.ndim != 2 or K.shape[0] != K.shape[1]:
+            raise ValueError(f"K must be square, got {K.shape!r}")
+        if not np.allclose(K, K.T, atol=1e-12):
+            raise ValueError("K must be symmetric")
+        if self.dtau <= 0:
+            raise ValueError(f"dtau must be positive, got {self.dtau}")
+        object.__setattr__(self, "K", K)
+        w, V = np.linalg.eigh(K)
+        object.__setattr__(self, "_w", w)
+        object.__setattr__(self, "_V", V)
+
+    @property
+    def N(self) -> int:
+        return self.K.shape[0]
+
+    def _expm(self, sign: float) -> np.ndarray:
+        w: np.ndarray = self._w  # type: ignore[attr-defined]
+        V: np.ndarray = self._V  # type: ignore[attr-defined]
+        return (V * np.exp(sign * self.t * self.dtau * w)) @ V.T
+
+    @property
+    def forward(self) -> np.ndarray:
+        """``expm(+t dtau K)`` — the factor entering each ``B_l``."""
+        if not hasattr(self, "_fwd"):
+            object.__setattr__(self, "_fwd", self._expm(+1.0))
+        return self._fwd  # type: ignore[attr-defined]
+
+    @property
+    def backward(self) -> np.ndarray:
+        """``expm(-t dtau K) = forward^{-1}`` (exact, via the spectrum)."""
+        if not hasattr(self, "_bwd"):
+            object.__setattr__(self, "_bwd", self._expm(-1.0))
+        return self._bwd  # type: ignore[attr-defined]

@@ -1,0 +1,156 @@
+"""Two-dimensional periodic rectangular lattices.
+
+QUEST (the reference DQMC code the paper builds on) uses a 2-D periodic
+rectangular lattice as its default geometry.  This module provides the
+same substrate:
+
+* the site indexing ``site = x + nx * y``;
+* the hopping adjacency matrix ``K`` (Eq. in Sec. V-A: ``K = (k_ij)``
+  is an adjacency matrix of the lattice structure);
+* the *spatial distance map* ``D(i, j)`` used by time-dependent
+  measurements (Sec. IV): every ordered site pair is assigned a distance
+  class ``d`` via the minimum-image displacement, and measurements are
+  accumulated per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["RectangularLattice"]
+
+
+@dataclass(frozen=True)
+class RectangularLattice:
+    """``nx x ny`` periodic rectangular lattice.
+
+    Parameters
+    ----------
+    nx, ny:
+        Lattice extents.  The number of sites is ``N = nx * ny``.
+
+    Notes
+    -----
+    Sites are indexed ``i = x + nx * y`` with ``0 <= x < nx`` and
+    ``0 <= y < ny``.  All derived arrays are cached on first use.
+    """
+
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError(f"lattice extents must be >= 1, got {self.nx}x{self.ny}")
+
+    @property
+    def nsites(self) -> int:
+        """Number of lattice sites ``N``."""
+        return self.nx * self.ny
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def site_index(self, x: int, y: int) -> int:
+        """Site index of coordinate ``(x, y)`` (periodically wrapped)."""
+        return (x % self.nx) + self.nx * (y % self.ny)
+
+    def coordinates(self, i: int) -> tuple[int, int]:
+        """Coordinate ``(x, y)`` of site ``i``."""
+        if not 0 <= i < self.nsites:
+            raise IndexError(f"site {i} out of range for {self.nsites} sites")
+        return (i % self.nx, i // self.nx)
+
+    @cached_property
+    def coords(self) -> np.ndarray:
+        """All site coordinates, shape ``(N, 2)``."""
+        i = np.arange(self.nsites)
+        return np.column_stack((i % self.nx, i // self.nx))
+
+    def neighbors(self, i: int) -> list[int]:
+        """Nearest neighbors of site ``i`` (periodic, deduplicated).
+
+        On degenerate extents (``nx`` or ``ny`` in ``{1, 2}``) the
+        left/right (up/down) neighbors coincide; duplicates are removed
+        so that the adjacency matrix stays 0/1.
+        """
+        x, y = self.coordinates(i)
+        cand = [
+            self.site_index(x + 1, y),
+            self.site_index(x - 1, y),
+            self.site_index(x, y + 1),
+            self.site_index(x, y - 1),
+        ]
+        out: list[int] = []
+        for j in cand:
+            if j != i and j not in out:
+                out.append(j)
+        return out
+
+    # ------------------------------------------------------------------
+    # adjacency (hopping) matrix
+    # ------------------------------------------------------------------
+    @cached_property
+    def adjacency(self) -> np.ndarray:
+        """Symmetric 0/1 nearest-neighbor adjacency matrix ``K``, shape ``(N, N)``."""
+        N = self.nsites
+        K = np.zeros((N, N))
+        for i in range(N):
+            for j in self.neighbors(i):
+                K[i, j] = 1.0
+        if not np.allclose(K, K.T):  # pragma: no cover - structural invariant
+            raise AssertionError("adjacency must be symmetric")
+        return K
+
+    # ------------------------------------------------------------------
+    # distance classes D(i, j)  (Sec. IV)
+    # ------------------------------------------------------------------
+    @cached_property
+    def displacement_table(self) -> np.ndarray:
+        """Minimum-image displacement ``(dx, dy)`` for every pair, shape ``(N, N, 2)``.
+
+        ``dx`` is folded into ``[-nx//2, nx - nx//2)`` (likewise ``dy``),
+        i.e. the shortest signed periodic displacement from ``j`` to
+        ``i``.
+        """
+        c = self.coords
+        d = c[:, None, :] - c[None, :, :]
+        d[..., 0] = (d[..., 0] + self.nx // 2) % self.nx - self.nx // 2
+        d[..., 1] = (d[..., 1] + self.ny // 2) % self.ny - self.ny // 2
+        return d
+
+    @cached_property
+    def distance_classes(self) -> tuple[np.ndarray, np.ndarray]:
+        """The spatial distance map ``D(i, j)`` and its class radii.
+
+        Returns
+        -------
+        (D, radii):
+            ``D`` has shape ``(N, N)``; ``D[i, j]`` is the distance
+            class index ``d`` of the ordered pair (class 0 is on-site).
+            ``radii`` has shape ``(d_max,)`` and holds the Euclidean
+            minimum-image distance represented by each class, sorted
+            ascending.
+        """
+        disp = self.displacement_table
+        r2 = disp[..., 0] ** 2 + disp[..., 1] ** 2
+        radii2, D = np.unique(r2, return_inverse=True)
+        return D.reshape(r2.shape).astype(np.intp), np.sqrt(radii2.astype(float))
+
+    @property
+    def d_max(self) -> int:
+        """Number of distance classes (``d_max ~ O(N)`` per the paper)."""
+        return len(self.distance_classes[1])
+
+    def pairs_in_class(self, d: int) -> np.ndarray:
+        """Ordered site pairs ``(i, j)`` with ``D(i, j) == d``, shape ``(m, 2)``."""
+        D, radii = self.distance_classes
+        if not 0 <= d < len(radii):
+            raise IndexError(f"distance class {d} out of range (d_max={len(radii)})")
+        i, j = np.nonzero(D == d)
+        return np.column_stack((i, j))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectangularLattice({self.nx}x{self.ny}, N={self.nsites})"

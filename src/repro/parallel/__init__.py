@@ -1,0 +1,30 @@
+"""Hybrid parallel runtime: SimMPI ranks + OpenMP-style threads."""
+
+from .hybrid import HybridConfig, HybridReport, run_fsi_fleet
+from .openmp import (
+    ThreadTeam,
+    chunk_ranges,
+    get_max_threads,
+    parallel_for,
+    parallel_map,
+    set_max_threads,
+)
+from .simmpi import ANY_SOURCE, ANY_TAG, CommStats, Communicator, RankError, SimMPI
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommStats",
+    "Communicator",
+    "HybridConfig",
+    "HybridReport",
+    "RankError",
+    "SimMPI",
+    "ThreadTeam",
+    "chunk_ranges",
+    "get_max_threads",
+    "parallel_for",
+    "parallel_map",
+    "run_fsi_fleet",
+    "set_max_threads",
+]

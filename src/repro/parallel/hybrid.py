@@ -1,0 +1,188 @@
+"""Hybrid driver — parallel application of FSI to many Green's functions.
+
+This is Alg. 3 of the paper, running on :mod:`repro.parallel.simmpi`
+instead of real MPI:
+
+* the root rank generates the HS parameter arrays ``h`` for all ``m``
+  matrices (never the matrices themselves — "generating all the input
+  matrices in one MPI process is neither efficient nor feasible") and
+  scatters them as flat int8 buffers;
+* each rank rebuilds its Hubbard matrices locally, runs FSI per matrix
+  with its OpenMP-style thread team (CLS clusters and WRP seeds are the
+  threaded loops), accumulates *local* measurement quantities, and
+* a final ``Reduce`` aggregates the local quantities into global ones
+  on the root.
+
+Green's functions never cross rank boundaries — only the tiny ``h``
+buffers and the reduced measurement vectors do, exactly as in the
+paper; the per-rank *memory* high-water mark (matrix + seed grid +
+selected blocks) is reported so the OOM analysis of Fig. 9 can be
+checked against the analytic model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.patterns import Pattern
+from ..hubbard.hs_field import HSField
+from ..hubbard.matrix import HubbardModel
+from .simmpi import CommStats, Communicator, SimMPI
+
+__all__ = ["HybridConfig", "HybridReport", "run_fsi_fleet", "rank_work"]
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Parameters of one hybrid run (Alg. 3).
+
+    ``n_matrices`` need not divide evenly: the remainder is spread one
+    extra matrix per low rank (block distribution), exactly what
+    ``MPI_Scatterv`` would carry.
+    """
+
+    n_matrices: int
+    n_ranks: int
+    threads_per_rank: int
+    c: int
+    pattern: Pattern = Pattern.COLUMNS
+    sigma: int = +1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_matrices < 1 or self.n_ranks < 1:
+            raise ValueError("n_matrices and n_ranks must be >= 1")
+        if self.n_matrices < self.n_ranks:
+            raise ValueError(
+                f"n_matrices={self.n_matrices} < n_ranks={self.n_ranks}:"
+                " some ranks would be idle; shrink the world instead"
+            )
+        if self.threads_per_rank < 1:
+            raise ValueError("threads_per_rank must be >= 1")
+
+    def batch_bounds(self, rank: int) -> tuple[int, int]:
+        """Global matrix index range ``[lo, hi)`` owned by ``rank``."""
+        base, rem = divmod(self.n_matrices, self.n_ranks)
+        lo = rank * base + min(rank, rem)
+        hi = lo + base + (1 if rank < rem else 0)
+        return lo, hi
+
+
+@dataclass
+class HybridReport:
+    """Global measurements plus runtime/communication accounting."""
+
+    global_measurements: dict[str, np.ndarray | float]
+    matrices_done: int
+    elapsed_seconds: float
+    comm: CommStats
+    per_rank_peak_bytes: int
+
+    def measurement(self, name: str) -> np.ndarray | float:
+        return self.global_measurements[name]
+
+
+def _measure_selected(selected, N: int) -> dict[str, float]:
+    """The local measurement quantities of Alg. 3 (demonstration set).
+
+    Scalar functionals of the selected blocks that reduce with '+':
+    the trace sum of selected diagonal blocks (an equal-time density
+    proxy) and the total Frobenius mass of the selection.
+    """
+    trace_sum = 0.0
+    frob = 0.0
+    for (k, l), blk in selected.items():
+        if k == l:
+            trace_sum += float(np.trace(blk))
+        frob += float(np.sum(blk * blk))
+    return {"trace_sum": trace_sum, "frobenius_sq": frob, "count": 1.0}
+
+
+def rank_work(
+    comm: Communicator,
+    model: HubbardModel,
+    cfg: HybridConfig,
+) -> dict[str, float]:
+    """The body each rank executes (Alg. 3, "On each MPI_process").
+
+    Returns the rank's local measurement dict (also reduced to root via
+    the communicator — the return value is used by the tests).
+    """
+    # Imported here rather than at module level: repro.core's stage
+    # modules import repro.parallel.openmp, so a module-level import of
+    # the FSI driver from inside repro.parallel would be circular.
+    from ..core.fsi import fsi
+
+    L, N = model.L, model.N
+    lo, hi = cfg.batch_bounds(comm.rank)
+    # Root generates all HS buffers, scatters one (possibly uneven)
+    # batch per rank — the Scatterv pattern, via the object scatter.
+    if comm.rank == 0:
+        rng = np.random.default_rng(cfg.seed)
+        all_h = rng.choice(
+            np.array([-1, 1], dtype=np.int8),
+            size=(cfg.n_matrices, L * N),
+        )
+        batches = [
+            all_h[cfg.batch_bounds(r)[0] : cfg.batch_bounds(r)[1]]
+            for r in range(cfg.n_ranks)
+        ]
+    else:
+        batches = None
+    my_h = comm.scatter(batches, root=0)
+
+    local: dict[str, float] = {}
+    peak = 0
+    for it in range(hi - lo):
+        buf = my_h[it]
+        field = HSField.from_buffer(buf, L, N)
+        pc = model.build_matrix(field, cfg.sigma)
+        # Key the q draw by the *global* matrix index so results are
+        # identical for any rank decomposition of the same workload.
+        global_index = lo + it
+        res = fsi(
+            pc,
+            cfg.c,
+            pattern=cfg.pattern,
+            rng=np.random.default_rng((cfg.seed, global_index)),
+            num_threads=cfg.threads_per_rank,
+        )
+        meas = _measure_selected(res.selected, N)
+        for key, value in meas.items():
+            local[key] = local.get(key, 0.0) + value
+        peak = max(
+            peak,
+            pc.memory_bytes()
+            + res.seeds.nbytes
+            + res.selected.memory_bytes(),
+        )
+    local["peak_bytes"] = float(peak)
+    total = comm.reduce(
+        {k: v for k, v in local.items() if k != "peak_bytes"}, root=0
+    )
+    peak_all = comm.reduce(local["peak_bytes"], op=max, root=0)
+    if comm.rank == 0:
+        assert total is not None
+        total["peak_bytes"] = peak_all
+        return total
+    return local
+
+
+def run_fsi_fleet(model: HubbardModel, cfg: HybridConfig) -> HybridReport:
+    """Launch Alg. 3 on a SimMPI world and aggregate the results."""
+    world = SimMPI(cfg.n_ranks)
+    t0 = time.perf_counter()
+    results = world.run(rank_work, model, cfg)
+    elapsed = time.perf_counter() - t0
+    root = results[0]
+    peak = int(root.pop("peak_bytes"))
+    return HybridReport(
+        global_measurements=root,
+        matrices_done=cfg.n_matrices,
+        elapsed_seconds=elapsed,
+        comm=world.stats,
+        per_rank_peak_bytes=peak,
+    )

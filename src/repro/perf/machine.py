@@ -1,0 +1,120 @@
+"""Machine model of NERSC Edison (Cray XC30) — the paper's testbed.
+
+All constants are public Edison specifications quoted in Sec. III-A and
+Sec. V of the paper (or standard Ivy Bridge microarchitecture facts):
+
+* 5576 compute nodes, 24 cores each (two 12-core 2.4 GHz Intel
+  "Ivy Bridge" sockets per node, QPI between them);
+* 64 GB DDR3-1866 per node (four 8 GB DIMMs per socket);
+* per-core peak: 2.4 GHz x 8 DP flops/cycle (AVX) = 19.2 Gflop/s;
+* "Dragonfly" interconnect: 0.25-3.7 us MPI latency, 8 GB/s MPI
+  bandwidth;
+* usable memory ~2.5 GB/core after the OS kernel, Lustre client and MPI
+  buffers (Sec. V-B's OOM discussion).
+
+This module also provides the per-rank *memory footprint* of an FSI
+selected inversion — the quantity that decides which hybrid
+(MPI x OpenMP) configurations are feasible in Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.patterns import Pattern
+
+__all__ = ["MachineSpec", "EDISON", "fsi_rank_memory_bytes"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware constants of one machine (defaults: generic placeholder)."""
+
+    name: str
+    sockets_per_node: int
+    cores_per_socket: int
+    ghz: float
+    flops_per_cycle: float
+    mem_per_node_gb: float
+    mem_reserved_per_node_gb: float  # kernel + Lustre + MPI buffers
+    stream_bw_per_socket_gbs: float  # sustained memory bandwidth
+    mpi_latency_us: float
+    mpi_bw_gbs: float
+    nodes: int
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.sockets_per_node * self.cores_per_socket
+
+    @property
+    def peak_core_gflops(self) -> float:
+        """Per-core double-precision peak (Gflop/s)."""
+        return self.ghz * self.flops_per_cycle
+
+    @property
+    def peak_socket_gflops(self) -> float:
+        return self.peak_core_gflops * self.cores_per_socket
+
+    @property
+    def mem_avail_per_node_gb(self) -> float:
+        """Memory usable by application ranks on one node."""
+        return self.mem_per_node_gb - self.mem_reserved_per_node_gb
+
+    @property
+    def mem_avail_per_socket_gb(self) -> float:
+        return self.mem_avail_per_node_gb / self.sockets_per_node
+
+    def fits_on_socket(self, ranks_per_socket: int, bytes_per_rank: float) -> bool:
+        """The Fig. 9 OOM rule: rank footprints must fit socket memory."""
+        need_gb = ranks_per_socket * bytes_per_rank / 2**30
+        return need_gb <= self.mem_avail_per_socket_gb
+
+
+#: Edison per Sec. III-A / V: 2 x 12-core 2.4 GHz Ivy Bridge, 64 GB/node,
+#: ~2.5 GB usable per core -> 60 GB usable per node, DDR3-1866 streams
+#: ~40 GB/s per socket, Aries dragonfly 8 GB/s / 0.25-3.7 us.
+EDISON = MachineSpec(
+    name="Edison (Cray XC30)",
+    sockets_per_node=2,
+    cores_per_socket=12,
+    ghz=2.4,
+    flops_per_cycle=8.0,
+    mem_per_node_gb=64.0,
+    mem_reserved_per_node_gb=4.0,
+    stream_bw_per_socket_gbs=40.0,
+    mpi_latency_us=2.0,
+    mpi_bw_gbs=8.0,
+    nodes=5576,
+)
+
+
+def fsi_rank_memory_bytes(
+    N: int,
+    L: int,
+    c: int,
+    pattern: Pattern = Pattern.COLUMNS,
+    dtype_bytes: int = 8,
+    include_workspace: bool = True,
+) -> float:
+    """Per-rank memory footprint of one FSI selected inversion.
+
+    Components: the matrix blocks (``L N^2``), the BSOFI seed grid
+    (``b^2 N^2`` plus its ``Q`` panels ``4 b N^2``), the selected blocks
+    themselves (pattern-dependent — ``b L N^2`` for block columns, the
+    2.65 GB at ``(N, L, c) = (576, 100, 10)`` quoted in Sec. V-B), and
+    scratch.
+    """
+    if L % c != 0:
+        raise ValueError(f"c={c} must divide L={L}")
+    b = L // c
+    n2 = float(N) * N * dtype_bytes
+    matrix = L * n2
+    seeds = b * b * n2
+    if pattern in (Pattern.COLUMNS, Pattern.ROWS):
+        selected = b * L * n2
+    elif pattern is Pattern.FULL_DIAGONAL:
+        selected = L * n2
+    else:  # DIAGONAL / SUBDIAGONAL
+        selected = b * n2
+    workspace = (4.0 * b + 6.0) * n2 if include_workspace else 0.0
+    return matrix + seeds + selected + workspace

@@ -1,0 +1,92 @@
+"""Hybrid-configuration auto-tuner.
+
+Sec. III-A: "An important decision before launching the application is
+to select the number of OpenMP threads per MPI process and the number
+of MPI processes per node" — the paper makes that decision by hand from
+Fig. 9.  This module automates it: enumerate the divisor configurations
+of a node's core count, discard the ones that OOM
+(:func:`repro.perf.machine.fsi_rank_memory_bytes` against socket
+memory), and rank the survivors by the modeled aggregate rate.
+
+The resulting policy reproduces the paper's rule of thumb: pure MPI
+whenever it fits, otherwise the fewest threads per rank that restores
+feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.patterns import Pattern
+from .machine import EDISON, MachineSpec
+from .model import DEFAULT_PARAMS, ModelParams, HybridPoint, hybrid_performance
+
+__all__ = ["TuningResult", "enumerate_configs", "tune_hybrid"]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a tuning sweep."""
+
+    best: HybridPoint | None
+    candidates: tuple[HybridPoint, ...]
+
+    @property
+    def feasible(self) -> tuple[HybridPoint, ...]:
+        return tuple(p for p in self.candidates if p.feasible)
+
+    def summary_rows(self) -> list[tuple[str, object, object]]:
+        """Printable (config, mem GB, Tflops-or-OOM) rows."""
+        return [
+            (
+                f"{p.n_ranks}x{p.threads_per_rank}",
+                round(p.mem_per_rank_gb, 2),
+                round(p.tflops, 2) if p.feasible and p.tflops else "OOM",
+            )
+            for p in self.candidates
+        ]
+
+
+def enumerate_configs(nodes: int, machine: MachineSpec = EDISON) -> list[tuple[int, int]]:
+    """All (total ranks, threads/rank) pairs saturating the allocation.
+
+    Threads per rank ranges over the divisors of the per-node core
+    count, so ranks always land evenly on nodes.
+    """
+    cores = machine.cores_per_node
+    configs = []
+    for threads in range(1, cores + 1):
+        if cores % threads == 0:
+            configs.append((nodes * cores // threads, threads))
+    return configs
+
+
+def tune_hybrid(
+    N: int,
+    L: int,
+    c: int,
+    n_matrices: int,
+    nodes: int = 100,
+    pattern: Pattern = Pattern.COLUMNS,
+    machine: MachineSpec = EDISON,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> TuningResult:
+    """Pick the fastest feasible (ranks x threads) configuration.
+
+    Candidates that cannot split ``n_matrices`` evenly are still
+    modeled (the real driver would pad the last batch); ties break
+    toward more ranks (pure-MPI preference, matching Fig. 9).
+    """
+    candidates = []
+    for ranks, threads in enumerate_configs(nodes, machine):
+        candidates.append(
+            hybrid_performance(
+                N, L, c, ranks, threads, n_matrices,
+                nodes=nodes, pattern=pattern, machine=machine, p=params,
+            )
+        )
+    feasible = [p for p in candidates if p.feasible and p.tflops is not None]
+    best = max(
+        feasible, key=lambda p: (p.tflops, p.n_ranks), default=None
+    )
+    return TuningResult(best=best, candidates=tuple(candidates))

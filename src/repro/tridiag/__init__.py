@@ -1,0 +1,29 @@
+"""FSI for block tridiagonal matrices (the paper's stated future work)."""
+
+from .fsi import btd_full_inverse, fsi_tridiagonal
+from .matrix import BlockTridiagonal, laplacian_chain, random_btd
+from .reduction import run_bounds, schur_reduce
+from .solve import BTDSolver
+from .rgf import (
+    SchurFactors,
+    TridiagAdjacency,
+    btd_determinant,
+    btd_solve,
+    rgf_diagonal,
+)
+
+__all__ = [
+    "BTDSolver",
+    "BlockTridiagonal",
+    "SchurFactors",
+    "TridiagAdjacency",
+    "btd_determinant",
+    "btd_full_inverse",
+    "btd_solve",
+    "fsi_tridiagonal",
+    "laplacian_chain",
+    "random_btd",
+    "rgf_diagonal",
+    "run_bounds",
+    "schur_reduce",
+]

@@ -1,0 +1,176 @@
+"""Block tridiagonal matrices.
+
+The paper's conclusion names "the extension of the basic idea of the
+FSI algorithm to other types of structured matrices such as block
+tridiagonal matrices" as future work — this subpackage implements that
+extension (see :mod:`repro.tridiag.fsi`).
+
+A block tridiagonal matrix ``J`` with ``L`` block rows of size ``N``::
+
+    J = [ A_1  F_1                ]
+        [ E_1  A_2  F_2           ]
+        [      E_2  A_3  ...      ]
+        [           ...      F_{L-1} ]
+        [           E_{L-1}  A_L  ]
+
+(``A_i`` diagonal, ``E_i`` sub-diagonal, ``F_i`` super-diagonal).
+Unlike the p-cyclic case there is no corner block — the chain is open,
+which changes the adjacency relations (they involve the forward and
+backward Schur complements instead of cyclic products, see
+:mod:`repro.tridiag.rgf`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockTridiagonal", "random_btd", "laplacian_chain"]
+
+
+@dataclass(frozen=True)
+class BlockTridiagonal:
+    """Container for a block tridiagonal matrix.
+
+    Parameters
+    ----------
+    A:
+        Diagonal blocks, shape ``(L, N, N)``.
+    E:
+        Sub-diagonal blocks ``J[i+1, i]``, shape ``(L-1, N, N)``.
+    F:
+        Super-diagonal blocks ``J[i, i+1]``, shape ``(L-1, N, N)``.
+
+    Block indices in the public API are 1-based like the p-cyclic
+    container (``A_i`` for ``1 <= i <= L``); no torus wrapping — the
+    chain is open.
+    """
+
+    A: np.ndarray
+    E: np.ndarray
+    F: np.ndarray
+
+    def __post_init__(self) -> None:
+        A = np.ascontiguousarray(np.asarray(self.A, dtype=float))
+        E = np.ascontiguousarray(np.asarray(self.E, dtype=float))
+        F = np.ascontiguousarray(np.asarray(self.F, dtype=float))
+        if A.ndim != 3 or A.shape[1] != A.shape[2]:
+            raise ValueError(f"A must be (L, N, N), got {A.shape!r}")
+        L, N = A.shape[0], A.shape[1]
+        if L < 1:
+            raise ValueError("need at least one diagonal block")
+        expected = (max(L - 1, 0), N, N)
+        if E.shape != expected or F.shape != expected:
+            raise ValueError(
+                f"E and F must have shape {expected}, got {E.shape!r} / {F.shape!r}"
+            )
+        object.__setattr__(self, "A", A)
+        object.__setattr__(self, "E", E)
+        object.__setattr__(self, "F", F)
+
+    # ------------------------------------------------------------------
+    @property
+    def L(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def N(self) -> int:
+        return self.A.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        n = self.L * self.N
+        return (n, n)
+
+    def diag(self, i: int) -> np.ndarray:
+        """``A_i`` (1-based)."""
+        if not 1 <= i <= self.L:
+            raise IndexError(f"diagonal index {i} out of range 1..{self.L}")
+        return self.A[i - 1]
+
+    def sub(self, i: int) -> np.ndarray:
+        """``E_i = J[i+1, i]`` (1-based, ``1 <= i <= L-1``)."""
+        if not 1 <= i <= self.L - 1:
+            raise IndexError(f"sub-diagonal index {i} out of range 1..{self.L - 1}")
+        return self.E[i - 1]
+
+    def sup(self, i: int) -> np.ndarray:
+        """``F_i = J[i, i+1]`` (1-based, ``1 <= i <= L-1``)."""
+        if not 1 <= i <= self.L - 1:
+            raise IndexError(f"super-diagonal index {i} out of range 1..{self.L - 1}")
+        return self.F[i - 1]
+
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise densely (oracles / small problems only)."""
+        L, N = self.L, self.N
+        J = np.zeros((L * N, L * N))
+        for i in range(L):
+            J[i * N : (i + 1) * N, i * N : (i + 1) * N] = self.A[i]
+        for i in range(L - 1):
+            J[(i + 1) * N : (i + 2) * N, i * N : (i + 1) * N] = self.E[i]
+            J[i * N : (i + 1) * N, (i + 1) * N : (i + 2) * N] = self.F[i]
+        return J
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``J x`` without forming ``J`` (x of shape ``(L*N,)`` or ``(L*N, k)``)."""
+        L, N = self.L, self.N
+        x = np.asarray(x)
+        xb = x.reshape(L, N, -1)
+        y = np.einsum("lij,ljk->lik", self.A, xb)
+        if L > 1:
+            y[1:] += np.einsum("lij,ljk->lik", self.E, xb[:-1])
+            y[:-1] += np.einsum("lij,ljk->lik", self.F, xb[1:])
+        return y.reshape(x.shape)
+
+    def memory_bytes(self) -> int:
+        return self.A.nbytes + self.E.nbytes + self.F.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlockTridiagonal(L={self.L}, N={self.N})"
+
+
+def random_btd(
+    L: int,
+    N: int,
+    rng: np.random.Generator | int | None = None,
+    dominance: float = 2.5,
+) -> BlockTridiagonal:
+    """A random, well-conditioned block tridiagonal matrix.
+
+    Gaussian blocks with a block-diagonally dominant shift
+    (``A_i += dominance * sqrt(N) * I``), which keeps every Schur
+    complement and every off-diagonal block invertible with
+    overwhelming probability — the regime the FSI-style wrapping
+    relations require.
+    """
+    gen = np.random.default_rng(rng)
+    A = gen.standard_normal((L, N, N)) / np.sqrt(N)
+    idx = np.arange(N)
+    A[:, idx, idx] += dominance
+    E = gen.standard_normal((max(L - 1, 0), N, N)) / np.sqrt(N)
+    F = gen.standard_normal((max(L - 1, 0), N, N)) / np.sqrt(N)
+    return BlockTridiagonal(A, E, F)
+
+
+def laplacian_chain(
+    L: int, N: int, coupling: float = 1.0, shift: float = 0.1
+) -> BlockTridiagonal:
+    """A physics-flavoured workload: discretised 1-D chain of coupled
+    ``N``-site cells (the shape NEGF/transport codes invert).
+
+    ``A_i = (4*coupling + shift) I + tridiag(-coupling)`` within the
+    cell (the 2-D five-point stencil restricted to a column),
+    ``E_i = F_i = -coupling I`` between cells; symmetric positive
+    definite for ``shift > 0`` by diagonal dominance.
+    """
+    if coupling <= 0 or shift <= 0:
+        raise ValueError("coupling and shift must be positive")
+    cell = (4 * coupling + shift) * np.eye(N)
+    for k in range(N - 1):
+        cell[k, k + 1] = cell[k + 1, k] = -coupling
+    A = np.broadcast_to(cell, (L, N, N)).copy()
+    hop = -coupling * np.eye(N)
+    E = np.broadcast_to(hop, (max(L - 1, 0), N, N)).copy()
+    return BlockTridiagonal(A, E, E.copy())

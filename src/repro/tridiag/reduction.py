@@ -1,0 +1,160 @@
+"""Schur reduction of block tridiagonal matrices — the CLS analogue.
+
+The p-cyclic CLS stage clusters ``c`` consecutive blocks into one; the
+tridiagonal counterpart is the *Schur complement onto every c-th block
+index* (block cyclic reduction for open chains): eliminating the
+interior of each run of ``c - 1`` consecutive non-kept indices couples
+only the two adjacent kept indices, so the reduced matrix ``J~`` is
+again block tridiagonal with ``b = L / c`` blocks, and by the Schur
+inverse identity
+
+    ``(J~^{-1})_{m,m'} = (J^{-1})_{k_m, k_m'}``,   ``k_m = c*m - q``
+
+— exactly the seed property (Eq. (8)) that powers FSI.
+
+The runs are data-independent, so (like CLS clusters) they are handed
+one-per-task to the OpenMP-style thread team.  Each run needs only the
+four corner blocks of its local inverse, obtained from two block-Thomas
+solves of size ``(c-1) N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import _kernels as kr
+from ..core.patterns import seed_indices
+from ..parallel.openmp import parallel_for
+from .matrix import BlockTridiagonal
+from .rgf import btd_solve
+
+__all__ = ["schur_reduce", "run_bounds"]
+
+
+def run_bounds(L: int, c: int, q: int) -> list[tuple[int, int, int, int]]:
+    """The eliminated runs as ``(lo, hi, left_kept, right_kept)`` tuples.
+
+    ``lo..hi`` (1-based, inclusive) are eliminated; ``left_kept`` /
+    ``right_kept`` are the adjacent kept indices (0 when the run touches
+    the chain boundary).  Empty runs are omitted.
+    """
+    kept = seed_indices(L, c, q)
+    out: list[tuple[int, int, int, int]] = []
+    prev = 0
+    for k in kept:
+        if k - 1 >= prev + 1:
+            out.append((prev + 1, k - 1, prev, k))
+        prev = k
+    if L >= prev + 1:
+        out.append((prev + 1, L, prev, 0))
+    return out
+
+
+def _run_submatrix(J: BlockTridiagonal, lo: int, hi: int) -> BlockTridiagonal:
+    """The run's own block tridiagonal ``J_RR`` (1-based inclusive)."""
+    return BlockTridiagonal(
+        J.A[lo - 1 : hi],
+        J.E[lo - 1 : hi - 1],
+        J.F[lo - 1 : hi - 1],
+    )
+
+
+@dataclass(frozen=True)
+class _RunCorners:
+    """Corner blocks of ``J_RR^{-1}`` for one eliminated run."""
+
+    first_first: np.ndarray
+    last_first: np.ndarray
+    first_last: np.ndarray
+    last_last: np.ndarray
+
+
+def _run_corners(J: BlockTridiagonal, lo: int, hi: int) -> _RunCorners:
+    sub = _run_submatrix(J, lo, hi)
+    m, N = sub.L, sub.N
+    rhs_first = np.zeros((m * N, N))
+    rhs_first[:N] = np.eye(N)
+    col_first = btd_solve(sub, rhs_first).reshape(m, N, N)
+    if m == 1:
+        return _RunCorners(
+            col_first[0], col_first[-1], col_first[0], col_first[-1]
+        )
+    rhs_last = np.zeros((m * N, N))
+    rhs_last[-N:] = np.eye(N)
+    col_last = btd_solve(sub, rhs_last).reshape(m, N, N)
+    return _RunCorners(
+        first_first=col_first[0],
+        last_first=col_first[-1],
+        first_last=col_last[0],
+        last_last=col_last[-1],
+    )
+
+
+def schur_reduce(
+    J: BlockTridiagonal,
+    c: int,
+    q: int,
+    num_threads: int | None = None,
+) -> BlockTridiagonal:
+    """Reduce ``J`` onto the kept indices ``{c-q, 2c-q, ..., bc-q}``.
+
+    Returns the ``b``-block tridiagonal Schur complement whose inverse
+    blocks are exact blocks of ``J^{-1}`` on the kept grid.  ``c`` must
+    divide ``L``; ``c = 1`` returns ``J`` unchanged.
+    """
+    L, N = J.L, J.N
+    kept = seed_indices(L, c, q)  # validates c | L and q range
+    if c == 1:
+        return J
+    b = len(kept)
+    A = np.stack([J.diag(k).copy() for k in kept])
+    E = np.zeros((b - 1, N, N)) if b > 1 else np.zeros((0, N, N))
+    F = np.zeros_like(E)
+    runs = run_bounds(L, c, q)
+    kept_pos = {k: m for m, k in enumerate(kept)}  # 0-based reduced index
+
+    # Each run computes its deltas independently (the parallel part);
+    # they are applied serially after the join because adjacent runs
+    # both touch their shared kept diagonal block.
+    deltas: list[dict[str, np.ndarray] | None] = [None] * len(runs)
+
+    def body(ri: int) -> None:
+        lo, hi, left, right = runs[ri]
+        corners = _run_corners(J, lo, hi)
+        out: dict[str, np.ndarray] = {}
+        if left:
+            # Delta(p, p) = -F_p (J_RR^{-1})_{1,1} E_p
+            out["left_diag"] = kr.gemm(
+                kr.gemm(J.sup(left), corners.first_first), J.sub(left)
+            )
+        if right:
+            # Delta(s, s) = -E_{s-1} (J_RR^{-1})_{last,last} F_{s-1}
+            out["right_diag"] = kr.gemm(
+                kr.gemm(J.sub(right - 1), corners.last_last), J.sup(right - 1)
+            )
+        if left and right:
+            # Sub-diagonal of the reduced matrix: Delta(s, p).
+            out["sub"] = -kr.gemm(
+                kr.gemm(J.sub(right - 1), corners.last_first), J.sub(left)
+            )
+            # Super-diagonal: Delta(p, s).
+            out["sup"] = -kr.gemm(
+                kr.gemm(J.sup(left), corners.first_last), J.sup(right - 1)
+            )
+        deltas[ri] = out
+
+    parallel_for(body, len(runs), num_threads=num_threads)
+    for ri, (lo, hi, left, right) in enumerate(runs):
+        out = deltas[ri]
+        assert out is not None
+        if left:
+            A[kept_pos[left]] -= out["left_diag"]
+        if right:
+            A[kept_pos[right]] -= out["right_diag"]
+        if left and right:
+            m = kept_pos[left]
+            E[m] = out["sub"]
+            F[m] = out["sup"]
+    return BlockTridiagonal(A, E, F)

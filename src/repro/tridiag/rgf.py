@@ -1,0 +1,242 @@
+"""Schur recursions and adjacency relations for block tridiagonal inverses.
+
+The role the cyclic products ``W_k`` play for p-cyclic matrices is
+played here by the *forward* and *backward Schur complements*
+
+    ``S_1 = A_1``,  ``S_i = A_i - E_{i-1} S_{i-1}^{-1} F_{i-1}``
+    ``T_L = A_L``,  ``T_i = A_i - F_i T_{i+1}^{-1} E_i``
+
+(the "left/right-connected" Green's functions of the RGF — recursive
+Green's function — literature, refs. [5], [6] of the paper).  With
+``G = J^{-1}``:
+
+* diagonal:      ``G_ii = (S_i + T_i - A_i)^{-1}``
+* below diag.:   ``G_{i+1,j} = -T_{i+1}^{-1} E_i   G_{ij}``  (``i >= j``)
+* above diag.:   ``G_{i-1,j} = -S_{i-1}^{-1} F_{i-1} G_{ij}``  (``i <= j``)
+* onto diag.:    ``G_jj = T_j^{-1} (I - E_{j-1} G_{j-1,j})``
+                 ``G_jj = S_j^{-1} (I - F_j G_{j+1,j})``
+* away from diag. *against* the natural direction (needed when a walk
+  starts above the diagonal and moves down, or below and moves up) the
+  same identities are inverted, which additionally requires the
+  off-diagonal blocks ``E_i`` / ``F_i`` to be invertible:
+  ``G_{i+1,j} = -F_i^{-1} S_i G_{ij}`` (``i+1 < j``),
+  ``G_{i-1,j} = -E_{i-1}^{-1} T_i G_{ij}`` (``i-1 > j``).
+
+All identities are hypothesis-tested against dense inverses in
+``tests/test_tridiag.py``.
+
+:class:`SchurFactors` computes and caches the ``S_i``/``T_i`` with
+their LU factors; :class:`TridiagAdjacency` packages the moves with all
+the region/diagonal case handling, exactly mirroring
+:class:`repro.core.adjacency.AdjacencyOps`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import _kernels as kr
+from .matrix import BlockTridiagonal
+
+__all__ = ["SchurFactors", "TridiagAdjacency", "rgf_diagonal", "btd_solve", "btd_determinant"]
+
+
+class SchurFactors:
+    """Forward (``S``) and backward (``T``) Schur complements + LU caches."""
+
+    def __init__(self, J: BlockTridiagonal):
+        self.J = J
+        L, N = J.L, J.N
+        S = np.empty((L, N, N))
+        T = np.empty((L, N, N))
+        S_lu: list[kr.LUFactors] = [None] * L  # type: ignore[list-item]
+        T_lu: list[kr.LUFactors] = [None] * L  # type: ignore[list-item]
+        S[0] = J.A[0]
+        S_lu[0] = kr.lu_factor(S[0])
+        for i in range(1, L):
+            S[i] = J.A[i] - J.E[i - 1] @ S_lu[i - 1].solve(J.F[i - 1])
+            kr.record_flops(4.0 * N**3)
+            S_lu[i] = kr.lu_factor(S[i])
+        T[L - 1] = J.A[L - 1]
+        T_lu[L - 1] = kr.lu_factor(T[L - 1])
+        for i in range(L - 2, -1, -1):
+            T[i] = J.A[i] - J.F[i] @ T_lu[i + 1].solve(J.E[i])
+            kr.record_flops(4.0 * N**3)
+            T_lu[i] = kr.lu_factor(T[i])
+        self.S, self.T = S, T
+        self._S_lu, self._T_lu = S_lu, T_lu
+        self._E_lu: dict[int, kr.LUFactors] = {}
+        self._F_lu: dict[int, kr.LUFactors] = {}
+
+    # 1-based accessors ---------------------------------------------------
+    def s(self, i: int) -> np.ndarray:
+        return self.S[i - 1]
+
+    def t(self, i: int) -> np.ndarray:
+        return self.T[i - 1]
+
+    def s_solve(self, i: int, X: np.ndarray) -> np.ndarray:
+        """``S_i^{-1} X``."""
+        return self._S_lu[i - 1].solve(X)
+
+    def t_solve(self, i: int, X: np.ndarray) -> np.ndarray:
+        """``T_i^{-1} X``."""
+        return self._T_lu[i - 1].solve(X)
+
+    def s_rsolve(self, i: int, X: np.ndarray) -> np.ndarray:
+        """``X S_i^{-1}`` (right-solve via the transposed LU)."""
+        return self._S_lu[i - 1].solve(np.ascontiguousarray(X.T), trans=1).T
+
+    def t_rsolve(self, i: int, X: np.ndarray) -> np.ndarray:
+        """``X T_i^{-1}``."""
+        return self._T_lu[i - 1].solve(np.ascontiguousarray(X.T), trans=1).T
+
+    def _e_lu(self, i: int) -> kr.LUFactors:
+        f = self._E_lu.get(i)
+        if f is None:
+            f = self._E_lu[i] = kr.lu_factor(self.J.sub(i))
+        return f
+
+    def _f_lu(self, i: int) -> kr.LUFactors:
+        f = self._F_lu.get(i)
+        if f is None:
+            f = self._F_lu[i] = kr.lu_factor(self.J.sup(i))
+        return f
+
+    def e_solve(self, i: int, X: np.ndarray) -> np.ndarray:
+        """``E_i^{-1} X`` (requires invertible sub-diagonal blocks)."""
+        return self._e_lu(i).solve(X)
+
+    def f_solve(self, i: int, X: np.ndarray) -> np.ndarray:
+        """``F_i^{-1} X`` (requires invertible super-diagonal blocks)."""
+        return self._f_lu(i).solve(X)
+
+    def e_rsolve(self, i: int, X: np.ndarray) -> np.ndarray:
+        """``X E_i^{-1}``."""
+        return self._e_lu(i).solve(np.ascontiguousarray(X.T), trans=1).T
+
+    def f_rsolve(self, i: int, X: np.ndarray) -> np.ndarray:
+        """``X F_i^{-1}``."""
+        return self._f_lu(i).solve(np.ascontiguousarray(X.T), trans=1).T
+
+    def diagonal_block(self, i: int) -> np.ndarray:
+        """``G_ii = (S_i + T_i - A_i)^{-1}``."""
+        N = self.J.N
+        M = self.s(i) + self.t(i) - self.J.diag(i)
+        return kr.solve(M, np.eye(N))
+
+
+class TridiagAdjacency:
+    """Boundary-aware neighbour moves on blocks of ``G = J^{-1}``."""
+
+    def __init__(self, factors: SchurFactors):
+        self.f = factors
+        self.J = factors.J
+
+    def down(self, G_ij: np.ndarray, i: int, j: int) -> np.ndarray:
+        """``G_{i+1,j}`` from ``G_ij`` (any region; see module docstring)."""
+        J, f = self.J, self.f
+        if not 1 <= i <= J.L - 1:
+            raise IndexError(f"cannot move down from row {i} of {J.L}")
+        if i >= j:
+            return -f.t_solve(i + 1, kr.gemm(J.sub(i), G_ij))
+        if i + 1 == j:
+            # Crossing onto the diagonal: G_jj = T_j^{-1}(I - E_{j-1} G_{j-1,j}).
+            rhs = -kr.gemm(J.sub(j - 1), G_ij)
+            kr.add_identity(rhs)
+            return f.t_solve(j, rhs)
+        # Strictly above the diagonal: inverted up-relation.
+        return -f.f_solve(i, kr.gemm(f.s(i), G_ij))
+
+    def up(self, G_ij: np.ndarray, i: int, j: int) -> np.ndarray:
+        """``G_{i-1,j}`` from ``G_ij`` (any region)."""
+        J, f = self.J, self.f
+        if not 2 <= i <= J.L:
+            raise IndexError(f"cannot move up from row {i}")
+        if i <= j:
+            return -f.s_solve(i - 1, kr.gemm(J.sup(i - 1), G_ij))
+        if i - 1 == j:
+            # Crossing onto the diagonal: G_jj = S_j^{-1}(I - F_j G_{j+1,j}).
+            rhs = -kr.gemm(J.sup(j), G_ij)
+            kr.add_identity(rhs)
+            return f.s_solve(j, rhs)
+        # Strictly below the diagonal: inverted down-relation.
+        return -f.e_solve(i - 1, kr.gemm(f.t(i), G_ij))
+
+    def right(self, G_ij: np.ndarray, i: int, j: int) -> np.ndarray:
+        """``G_{i,j+1}`` from ``G_ij`` (column relations, from ``G J = I``;
+        equivalently the row relations applied to ``J^T``)."""
+        J, f = self.J, self.f
+        if not 1 <= j <= J.L - 1:
+            raise IndexError(f"cannot move right from column {j}")
+        if j >= i:
+            return -f.t_rsolve(j + 1, kr.gemm(G_ij, J.sup(j)))
+        if j + 1 == i:
+            # Crossing onto the diagonal: G_ii = (I - G_{i,i-1} F_{i-1}) T_i^{-1}.
+            rhs = -kr.gemm(G_ij, J.sup(i - 1))
+            kr.add_identity(rhs)
+            return f.t_rsolve(i, rhs)
+        # Strictly left of the diagonal (j+1 < i): inverted relation.
+        return -f.e_rsolve(j, kr.gemm(G_ij, f.s(j)))
+
+    def left(self, G_ij: np.ndarray, i: int, j: int) -> np.ndarray:
+        """``G_{i,j-1}`` from ``G_ij``."""
+        J, f = self.J, self.f
+        if not 2 <= j <= J.L:
+            raise IndexError(f"cannot move left from column {j}")
+        if j <= i:
+            return -f.s_rsolve(j - 1, kr.gemm(G_ij, J.sub(j - 1)))
+        if j - 1 == i:
+            # Crossing onto the diagonal: G_ii = (I - G_{i,i+1} E_i) S_i^{-1}.
+            rhs = -kr.gemm(G_ij, J.sub(i))
+            kr.add_identity(rhs)
+            return f.s_rsolve(i, rhs)
+        # Strictly right of the diagonal (j-1 > i): inverted relation.
+        return -f.f_rsolve(j - 1, kr.gemm(G_ij, f.t(j)))
+
+
+def rgf_diagonal(J: BlockTridiagonal) -> np.ndarray:
+    """Every diagonal block of ``J^{-1}`` via the classic RGF sweep.
+
+    Returns shape ``(L, N, N)``.  ``O(L N^3)`` — the standard selected
+    inversion all NEGF codes use; the FSI-style pipeline in
+    :mod:`repro.tridiag.fsi` matches it blockwise.
+    """
+    f = SchurFactors(J)
+    return np.stack([f.diagonal_block(i) for i in range(1, J.L + 1)])
+
+
+def btd_solve(J: BlockTridiagonal, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``J x = rhs`` by the block Thomas algorithm (LU sweep)."""
+    L, N = J.L, J.N
+    rhs = np.asarray(rhs, dtype=float)
+    orig = rhs.shape
+    if rhs.shape[0] != L * N:
+        raise ValueError(f"rhs leading dim {rhs.shape[0]} != {L * N}")
+    y = rhs.reshape(L, N, -1).copy()
+    # Forward elimination with the forward Schur complements.
+    S_lu: list[kr.LUFactors] = []
+    S_prev = J.A[0]
+    S_lu.append(kr.lu_factor(S_prev))
+    for i in range(1, L):
+        y[i] -= J.E[i - 1] @ S_lu[i - 1].solve(y[i - 1])
+        S_i = J.A[i] - J.E[i - 1] @ S_lu[i - 1].solve(J.F[i - 1])
+        kr.record_flops(4.0 * N**3)
+        S_lu.append(kr.lu_factor(S_i))
+    # Back substitution.
+    x = y
+    x[L - 1] = S_lu[L - 1].solve(y[L - 1])
+    for i in range(L - 2, -1, -1):
+        x[i] = S_lu[i].solve(y[i] - J.F[i] @ x[i + 1])
+    return x.reshape(orig)
+
+
+def btd_determinant(J: BlockTridiagonal) -> tuple[float, float]:
+    """``(sign, log|det J|) = prod det(S_i)`` from the forward sweep."""
+    f = SchurFactors(J)
+    sign, logabs = 1.0, 0.0
+    for i in range(J.L):
+        s, l = np.linalg.slogdet(f.S[i])
+        sign *= float(s)
+        logabs += float(l)
+    return sign, logabs

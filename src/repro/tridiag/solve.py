@@ -1,0 +1,72 @@
+"""Factor-once / solve-many interface for block tridiagonal systems.
+
+:func:`repro.tridiag.rgf.btd_solve` refactors the forward Schur
+complements on every call; :class:`BTDSolver` caches the LU factors of
+the ``S_i`` once (``O(L N^3)``) and then solves each right-hand side in
+``O(L N^2)`` — the block Thomas algorithm split into its factor and
+solve phases, mirroring :class:`repro.core.solve.PCyclicSolver`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import _kernels as kr
+from .matrix import BlockTridiagonal
+
+__all__ = ["BTDSolver"]
+
+
+class BTDSolver:
+    """Cached block-Thomas factorisation of a block tridiagonal matrix."""
+
+    def __init__(self, J: BlockTridiagonal):
+        self.J = J
+        L, N = J.L, J.N
+        self._S_lu: list[kr.LUFactors] = []
+        # Pre-solved coupling blocks S_i^{-1} F_i, reused per solve.
+        self._SF: list[np.ndarray] = []
+        S = np.array(J.A[0], copy=True)
+        self._S_lu.append(kr.lu_factor(S))
+        for i in range(1, L):
+            SF = self._S_lu[i - 1].solve(J.F[i - 1])
+            self._SF.append(SF)
+            S = J.A[i] - J.E[i - 1] @ SF
+            kr.record_flops(2.0 * N**3)
+            self._S_lu.append(kr.lu_factor(S))
+
+    @property
+    def L(self) -> int:
+        return self.J.L
+
+    @property
+    def N(self) -> int:
+        return self.J.N
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``J x = rhs`` (vector or block of vectors)."""
+        L, N = self.L, self.N
+        rhs = np.asarray(rhs, dtype=float)
+        orig = rhs.shape
+        if rhs.shape[0] != L * N:
+            raise ValueError(f"rhs leading dim {rhs.shape[0]} != {L * N}")
+        y = rhs.reshape(L, N, -1).copy()
+        for i in range(1, L):
+            y[i] -= self.J.E[i - 1] @ self._S_lu[i - 1].solve(y[i - 1])
+            kr.record_flops(2.0 * N * N * y.shape[2])
+        x = y
+        x[L - 1] = self._S_lu[L - 1].solve(y[L - 1])
+        for i in range(L - 2, -1, -1):
+            x[i] = self._S_lu[i].solve(y[i] - self.J.F[i] @ x[i + 1])
+            kr.record_flops(2.0 * N * N * x.shape[2])
+        return x.reshape(orig)
+
+    def slogdet(self) -> tuple[float, float]:
+        """``(sign, log|det J|)`` from the cached forward factors."""
+        sign, logabs = 1.0, 0.0
+        for f in self._S_lu:
+            diag = np.diag(f.lu)
+            sign *= float(np.prod(np.sign(diag)))
+            sign *= -1.0 if (f.piv != np.arange(len(f.piv))).sum() % 2 else 1.0
+            logabs += float(np.sum(np.log(np.abs(diag))))
+        return sign, logabs

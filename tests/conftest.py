@@ -1,0 +1,51 @@
+"""Shared fixtures: small matrices with dense oracles, Hubbard models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pcyclic import BlockPCyclic, random_pcyclic
+from repro.hubbard import HSField, HubbardModel, RectangularLattice
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_pc(rng) -> BlockPCyclic:
+    """A well-conditioned 6-block random p-cyclic matrix (N=4)."""
+    return random_pcyclic(6, 4, rng, scale=0.7)
+
+
+@pytest.fixture
+def small_dense_inverse(small_pc) -> np.ndarray:
+    return np.linalg.inv(small_pc.to_dense())
+
+
+@pytest.fixture
+def hubbard_model() -> HubbardModel:
+    """3x3 lattice, 8 slices — small enough for dense oracles."""
+    return HubbardModel(RectangularLattice(3, 3), L=8, t=1.0, U=4.0, beta=2.0)
+
+
+@pytest.fixture
+def hubbard_field(hubbard_model, rng) -> HSField:
+    return HSField.random(hubbard_model.L, hubbard_model.N, rng)
+
+
+@pytest.fixture
+def hubbard_pc(hubbard_model, hubbard_field) -> BlockPCyclic:
+    return hubbard_model.build_matrix(hubbard_field, +1)
+
+
+def dense_block(G: np.ndarray, k: int, l: int, N: int) -> np.ndarray:
+    """1-based block extraction from a dense matrix (test helper)."""
+    return G[(k - 1) * N : k * N, (l - 1) * N : l * N]
+
+
+@pytest.fixture
+def block_of():
+    return dense_block

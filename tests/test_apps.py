@@ -1,0 +1,149 @@
+"""Applications: trace estimation and p-cyclic Markov chains."""
+
+import numpy as np
+import pytest
+
+from repro.apps.markov import CyclicMarkovChain, resolvent_columns
+from repro.apps.trace import (
+    HutchinsonResult,
+    exact_diagonal,
+    exact_trace,
+    hutchinson_trace,
+)
+from repro.core.pcyclic import random_pcyclic
+from repro.core.solve import PCyclicSolver
+
+
+@pytest.fixture(scope="module")
+def problem():
+    pc = random_pcyclic(12, 6, np.random.default_rng(0), scale=0.6)
+    G = np.linalg.inv(pc.to_dense())
+    return pc, G
+
+
+class TestExactTrace:
+    def test_diagonal_matches_dense(self, problem):
+        pc, G = problem
+        np.testing.assert_allclose(
+            exact_diagonal(pc, c=4), np.diag(G), atol=1e-11
+        )
+
+    def test_trace_matches_dense(self, problem):
+        pc, G = problem
+        assert exact_trace(pc, c=4) == pytest.approx(np.trace(G), rel=1e-12)
+
+    def test_default_c(self, problem):
+        pc, G = problem
+        assert exact_trace(pc) == pytest.approx(np.trace(G), rel=1e-12)
+
+
+class TestHutchinson:
+    def test_unbiased_within_stderr(self, problem):
+        pc, G = problem
+        r = hutchinson_trace(pc, n_probes=512, rng=1)
+        assert isinstance(r, HutchinsonResult)
+        assert r.error_vs(np.trace(G)) < 5 * r.stderr
+
+    def test_error_shrinks_with_probes(self, problem):
+        pc, G = problem
+        exact = np.trace(G)
+        errs = []
+        for n in (16, 256):
+            # Average over seeds to beat luck.
+            errs.append(
+                np.mean(
+                    [
+                        hutchinson_trace(pc, n_probes=n, rng=s).error_vs(exact)
+                        for s in range(8)
+                    ]
+                )
+            )
+        assert errs[1] < 0.7 * errs[0]
+
+    def test_shared_solver(self, problem):
+        pc, _ = problem
+        solver = PCyclicSolver(pc)
+        a = hutchinson_trace(pc, n_probes=8, rng=2, solver=solver)
+        b = hutchinson_trace(pc, n_probes=8, rng=2, solver=solver)
+        assert a.estimate == pytest.approx(b.estimate)
+
+    def test_validation(self, problem):
+        pc, _ = problem
+        with pytest.raises(ValueError):
+            hutchinson_trace(pc, n_probes=0)
+
+    def test_samples_recorded(self, problem):
+        pc, _ = problem
+        r = hutchinson_trace(pc, n_probes=7, rng=3)
+        assert r.samples.shape == (7,)
+        assert r.estimate == pytest.approx(float(r.samples.mean()))
+
+
+class TestMarkovChain:
+    @pytest.fixture(scope="class")
+    def chain(self):
+        return CyclicMarkovChain.random(6, 4, rng=7)
+
+    def test_random_blocks_stochastic(self, chain):
+        np.testing.assert_allclose(chain.P.sum(axis=2), 1.0, atol=1e-12)
+
+    def test_transition_matrix_structure(self, chain):
+        T = chain.transition_matrix()
+        N = chain.N
+        # Only class l -> l+1 transitions exist.
+        np.testing.assert_array_equal(T[:N, :N], 0.0)
+        assert T[:N, N : 2 * N].sum() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CyclicMarkovChain(-np.ones((2, 2, 2)) / 2)
+        with pytest.raises(ValueError, match="stochastic"):
+            CyclicMarkovChain(np.ones((2, 2, 2)))
+
+    def test_resolvent_pcyclic_matches_dense(self, chain):
+        z = 0.8
+        pc = chain.resolvent_pcyclic(z)
+        lhs = pc.to_dense()
+        rhs = (np.eye(chain.L * chain.N) - z * chain.transition_matrix()).T
+        np.testing.assert_allclose(lhs, rhs, atol=1e-13)
+
+    def test_z_range_validated(self, chain):
+        with pytest.raises(ValueError, match="discount"):
+            chain.resolvent_pcyclic(1.5)
+
+    @pytest.mark.parametrize("z", [0.5, 0.95])
+    def test_resolvent_columns_match_dense(self, chain, z):
+        R = np.linalg.inv(
+            np.eye(chain.L * chain.N) - z * chain.transition_matrix()
+        )
+        cols = resolvent_columns(chain, z, c=2, q=0)
+        N = chain.N
+        for (k, l), blk in cols.items():
+            ref = R[(k - 1) * N : k * N, (l - 1) * N : l * N]
+            np.testing.assert_allclose(blk, ref, atol=1e-10)
+
+    def test_expected_visits_properties(self, chain):
+        """Resolvent entries are non-negative and row sums equal the
+        geometric total 1/(1-z) when summed over all columns."""
+        z = 0.9
+        R = np.linalg.inv(
+            np.eye(chain.L * chain.N) - z * chain.transition_matrix()
+        )
+        assert np.all(R > -1e-12)
+        np.testing.assert_allclose(R.sum(axis=1), 1.0 / (1.0 - z), atol=1e-9)
+
+    def test_discounted_visits_localise_by_class(self, chain):
+        """Starting in class k, visits to class l at lag t require
+        t = l - k (mod L): the leading contribution scales like z^lag."""
+        z = 0.3
+        cols = resolvent_columns(chain, z, c=2, q=0)
+        # From class 1 to the two selected classes: nearer class gets
+        # larger total weight at small z.
+        totals = {
+            l: blk.sum() for (k, l), blk in cols.items() if k == 1
+        }
+        ls = sorted(totals)
+        lags = {l: (l - 1) % chain.L for l in ls}
+        near = min(ls, key=lambda l: lags[l])
+        far = max(ls, key=lambda l: lags[l])
+        assert totals[near] > totals[far]

@@ -1,0 +1,57 @@
+"""ASCII chart rendering for the experiment figures."""
+
+import pytest
+
+from repro.bench.ascii_chart import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone(self):
+        s = sparkline([1, 2, 3, 4])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_peak_fills_width(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+        assert "2" in lines[1]
+
+    def test_label_alignment(self):
+        out = bar_chart(["x", "longer"], [1, 1], width=4)
+        # Labels padded to the longest ("longer", 6 chars) + one space.
+        assert all(line.index("|") == 7 for line in out.splitlines())
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        out = line_chart(
+            [1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]}, height=6, width=20
+        )
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self):
+        out = line_chart([0, 10], {"s": [5.0, 15.0]}, height=5, width=10)
+        assert "15" in out and "5" in out
+        assert "0" in out and "10" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_empty(self):
+        assert line_chart([], {}) == ""

@@ -1,0 +1,149 @@
+"""The attractive (negative-U) Hubbard model: charge-channel HS."""
+
+import numpy as np
+import pytest
+
+from repro.core.greens_explicit import equal_time_greens
+from repro.dqmc import DQMC, DQMCConfig
+from repro.dqmc.correlations import pairing_correlation
+from repro.dqmc.ed import ExactDiagonalization
+from repro.dqmc.updates import gamma_factor, init_wrapped, metropolis_ratio
+from repro.hubbard import HSField, HubbardModel, RectangularLattice
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HubbardModel(RectangularLattice(2, 2), L=8, t=1.0, U=-4.0, beta=2.0)
+
+
+@pytest.fixture(scope="module")
+def field():
+    return HSField.random(8, 4, np.random.default_rng(1))
+
+
+def weight(model, field):
+    """Brute-force configuration weight ``e^{-nu sum h} det(M)^2``."""
+    M = model.build_matrix(field, +1).to_dense()
+    return np.exp(-model.nu * field.h.sum()) * np.linalg.det(M) ** 2
+
+
+class TestChargeChannel:
+    def test_flags(self, model):
+        assert model.is_attractive
+        assert model.spin_factor(+1) == 1
+        assert model.spin_factor(-1) == 1
+        assert model.nu > 0
+
+    def test_both_spins_same_matrix(self, model, field):
+        up = model.build_matrix(field, +1)
+        dn = model.build_matrix(field, -1)
+        np.testing.assert_array_equal(up.B, dn.B)
+
+    def test_repulsive_unchanged(self):
+        rep = HubbardModel(RectangularLattice(2, 2), L=4, U=4.0, beta=1.0)
+        assert not rep.is_attractive
+        assert rep.spin_factor(-1) == -1
+
+    def test_weight_nonnegative(self, model):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            f = HSField.random(8, 4, np.random.default_rng(seed))
+            assert weight(model, f) > 0
+
+    def test_metropolis_ratio_matches_weight_ratio(self, model, field):
+        l, i = 3, 2
+        pc = model.build_matrix(field, +1)
+        Gw = init_wrapped(equal_time_greens(pc, l), model)
+        h = int(field.h[l - 1, i])
+        g = gamma_factor(model, h, +1)
+        r_b = metropolis_ratio(Gw, i, g)
+        r = np.exp(2 * model.nu * h) * r_b**2
+        flipped = field.copy()
+        flipped.flip(l - 1, i)
+        assert r == pytest.approx(
+            weight(model, flipped) / weight(model, field), rel=1e-9
+        )
+
+    def test_slice_inverse_exact(self, model, field):
+        B = model.slice_matrix(field.slice(0), +1)
+        Binv = model.slice_matrix_inv(field.slice(0), +1)
+        np.testing.assert_allclose(B @ Binv, np.eye(4), atol=1e-12)
+
+
+class TestAttractivePhysics:
+    def run_sim(self, model, sweeps=(20, 120), seed=4, **kw):
+        return DQMC(
+            model,
+            DQMCConfig(
+                warmup_sweeps=sweeps[0],
+                measurement_sweeps=sweeps[1],
+                c=4,
+                nwrap=4,
+                bin_size=10,
+                seed=seed,
+                num_threads=1,
+                measure_time_dependent=False,
+                **kw,
+            ),
+        ).run()
+
+    def test_matches_ed(self, model):
+        ed = ExactDiagonalization(model)
+        res = self.run_sim(model, sweeps=(20, 150))
+        for name, ref in (
+            ("density", ed.density(2.0)),
+            ("double_occupancy", ed.double_occupancy(2.0)),
+        ):
+            mean, err = res.observable(name)
+            assert abs(float(mean) - ref) < max(4.0 * float(err), 0.02), name
+
+    def test_pairing_enhanced_docc(self, model):
+        """Attraction binds pairs: <n_up n_dn> far above the
+        uncorrelated n_up * n_dn ~ 0.25."""
+        res = self.run_sim(model)
+        docc, _ = res.observable("double_occupancy")
+        assert float(docc) > 0.3
+
+    def test_no_sign_problem_doped(self):
+        """Away from half filling the attractive model stays sign-free."""
+        doped = HubbardModel(
+            RectangularLattice(2, 2), L=8, U=-4.0, beta=2.0, mu=0.5
+        )
+        res = self.run_sim(doped, sweeps=(5, 10))
+        assert res.average_sign == 1.0
+        assert float(res.observable("density")[0]) > 1.0  # mu > 0 dopes up
+
+    def test_wrap_drift_small(self, model):
+        sim = DQMC(
+            model,
+            DQMCConfig(warmup_sweeps=0, measurement_sweeps=0, c=4, nwrap=4,
+                       seed=1, num_threads=1),
+        )
+        for _ in range(2):
+            sim.sweep()
+        assert sim.max_wrap_drift < 1e-7
+
+    def test_bundles_alias_both_spins(self, model):
+        sim = DQMC(
+            model,
+            DQMCConfig(warmup_sweeps=1, measurement_sweeps=0, c=4, seed=2,
+                       num_threads=1),
+        )
+        sim.sweep()
+        bundles = sim.compute_greens(q=1)
+        assert bundles[+1] is bundles[-1]
+
+    def test_pairing_nonnegative_per_configuration(self, model):
+        """With G_up == G_dn the pair correlation is G(i,j)^2 — exactly
+        non-negative entrywise, configuration by configuration."""
+        sim = DQMC(
+            model,
+            DQMCConfig(warmup_sweeps=2, measurement_sweeps=0, c=4, seed=3,
+                       num_threads=1),
+        )
+        sim.sweep()
+        b = sim.compute_greens(q=0)
+        g = b[+1].full_diagonal[(1, 1)]
+        pc = pairing_correlation(g, g, model.lattice)
+        assert np.all(pc >= 0)
+        assert pc[0] > 0

@@ -1,0 +1,96 @@
+"""Autocorrelation analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.dqmc.autocorr import (
+    autocorrelation_function,
+    binning_scan,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+)
+
+
+def ar1(n: int, phi: float, seed: int = 0) -> np.ndarray:
+    """An AR(1) chain with known tau_int = (1 + phi) / (2 (1 - phi))."""
+    rng = np.random.default_rng(seed)
+    x = np.empty(n)
+    x[0] = rng.standard_normal()
+    for i in range(1, n):
+        x[i] = phi * x[i - 1] + rng.standard_normal()
+    return x
+
+
+class TestAutocorrelationFunction:
+    def test_rho0_is_one(self):
+        rho = autocorrelation_function(np.random.default_rng(0).standard_normal(100))
+        assert rho[0] == 1.0
+
+    def test_white_noise_decorrelates(self):
+        rho = autocorrelation_function(
+            np.random.default_rng(1).standard_normal(20000), max_lag=5
+        )
+        assert np.all(np.abs(rho[1:]) < 0.05)
+
+    def test_ar1_matches_theory(self):
+        phi = 0.8
+        rho = autocorrelation_function(ar1(200000, phi, seed=2), max_lag=5)
+        for t in range(1, 6):
+            assert rho[t] == pytest.approx(phi**t, abs=0.03)
+
+    def test_constant_series(self):
+        rho = autocorrelation_function(np.full(50, 2.0), max_lag=3)
+        assert rho[0] == 1.0
+        np.testing.assert_array_equal(rho[1:], 0.0)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            autocorrelation_function(np.array([1.0]))
+
+
+class TestTauInt:
+    def test_white_noise_is_half(self):
+        tau = integrated_autocorrelation_time(
+            np.random.default_rng(3).standard_normal(50000)
+        )
+        assert tau == pytest.approx(0.5, abs=0.1)
+
+    def test_ar1_matches_theory(self):
+        phi = 0.7
+        expected = (1 + phi) / (2 * (1 - phi))  # ~2.83
+        tau = integrated_autocorrelation_time(ar1(200000, phi, seed=4))
+        assert tau == pytest.approx(expected, rel=0.2)
+
+    def test_never_below_half(self):
+        # Anti-correlated series: tau clipped at 0.5.
+        x = np.array([1.0, -1.0] * 500)
+        assert integrated_autocorrelation_time(x) == 0.5
+
+
+class TestEffectiveSampleSize:
+    def test_white_noise_full_size(self):
+        n = 20000
+        ess = effective_sample_size(np.random.default_rng(5).standard_normal(n))
+        assert ess == pytest.approx(n, rel=0.15)
+
+    def test_correlated_shrinks(self):
+        x = ar1(50000, 0.9, seed=6)
+        assert effective_sample_size(x) < 0.3 * len(x)
+
+
+class TestBinningScan:
+    def test_white_noise_flat(self):
+        scan = binning_scan(np.random.default_rng(7).standard_normal(16384))
+        errs = [e for _, e in scan]
+        assert errs[-1] == pytest.approx(errs[0], rel=0.5)
+
+    def test_correlated_error_grows_then_plateaus(self):
+        scan = binning_scan(ar1(65536, 0.9, seed=8))
+        errs = [e for _, e in scan]
+        # The bin-1 naive error underestimates; large bins reveal the truth.
+        assert errs[-1] > 2.0 * errs[0]
+
+    def test_bin_sizes_double(self):
+        scan = binning_scan(np.arange(64, dtype=float))
+        sizes = [s for s, _ in scan]
+        assert sizes == [1, 2, 4, 8, 16]

@@ -1,0 +1,109 @@
+"""Bench harness utilities: workloads, reporting, timed runs."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_explicit_baseline, run_fsi, run_lu_baseline
+from repro.bench.report import Series, Table, banner, format_quantity
+from repro.bench.workloads import (
+    BENCH_SMALL,
+    VALIDATION,
+    Workload,
+    make_hubbard,
+    square_lattice_for,
+)
+from repro.core.patterns import Pattern, Selection
+
+
+class TestWorkloads:
+    def test_validation_matches_paper(self):
+        assert VALIDATION.N == 100
+        assert VALIDATION.L == 64
+        assert VALIDATION.c == 8
+        assert (VALIDATION.t, VALIDATION.beta, VALIDATION.U) == (1.0, 1.0, 2.0)
+
+    def test_b_property(self):
+        assert Workload("w", 4, 4, L=24, c=4).b == 6
+
+    def test_make_hubbard_deterministic(self):
+        a, _, _ = make_hubbard(BENCH_SMALL, seed=5)
+        b, _, _ = make_hubbard(BENCH_SMALL, seed=5)
+        np.testing.assert_array_equal(a.B, b.B)
+
+    def test_square_lattice_for(self):
+        lat = square_lattice_for(576)
+        assert lat.nx == lat.ny == 24
+
+    def test_square_lattice_rejects_non_square(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            square_lattice_for(500)
+
+
+class TestReport:
+    def test_table_renders(self):
+        t = Table("title", ["a", "b"], note="n")
+        t.add_row(1, 2.5)
+        t.add_row("x", None)
+        out = t.render()
+        assert "title" in out and "2.5" in out and "note: n" in out
+        assert "-" in out  # None formatting
+
+    def test_table_row_arity_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError, match="entries"):
+            t.add_row(1)
+
+    def test_series_renders(self):
+        s = Series("fig", "x", [1, 2, 3])
+        s.add_line("y", [10, 20, 30])
+        out = s.render()
+        assert "fig" in out and "30" in out
+
+    def test_series_length_checked(self):
+        s = Series("fig", "x", [1, 2])
+        with pytest.raises(ValueError, match="points"):
+            s.add_line("y", [1])
+
+    def test_format_quantity(self):
+        assert format_quantity(None) == "-"
+        assert format_quantity(True) == "yes"
+        assert format_quantity(0.0) == "0"
+        assert format_quantity(123456.0) == "1.23e+05"
+        assert format_quantity("s") == "s"
+
+    def test_banner(self):
+        out = banner("hello", width=10)
+        assert out.splitlines()[0] == "=" * 10
+
+
+class TestTimedRuns:
+    @pytest.fixture(scope="class")
+    def pc(self):
+        pc, _, _ = make_hubbard(
+            Workload("tiny", 2, 2, L=8, c=4, U=2.0, beta=1.0), seed=0
+        )
+        return pc
+
+    def test_run_fsi_collects_stages(self, pc):
+        run = run_fsi(pc, 4, Pattern.COLUMNS, q=1)
+        assert run.seconds > 0
+        assert run.flops > 0
+        assert set(run.stage_flops) >= {"cls", "bsofi", "wrp"}
+        assert run.gflops > 0
+
+    def test_run_lu_baseline(self, pc):
+        sel = Selection(Pattern.COLUMNS, L=pc.L, c=4, q=1)
+        run = run_lu_baseline(pc, sel)
+        assert run.label == "lu"
+        assert run.stage_flops.get("lu", 0) > 0
+
+    def test_run_explicit_baseline(self, pc):
+        run = run_explicit_baseline(pc, [3, 7])
+        assert run.label == "explicit"
+        assert len(run.result) == 2 * pc.L
+
+    def test_fsi_cheaper_than_lu(self, pc):
+        sel = Selection(Pattern.COLUMNS, L=pc.L, c=4, q=1)
+        f = run_fsi(pc, 4, Pattern.COLUMNS, q=1)
+        l = run_lu_baseline(pc, sel)
+        assert f.flops < l.flops

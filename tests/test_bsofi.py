@@ -1,0 +1,138 @@
+"""BSOFI structured orthogonal inversion: factors and full inverse."""
+
+import numpy as np
+import pytest
+
+from repro.core.bsofi import StructuredQR, bsofi, bsofi_flops, bsofi_qr
+from repro.core.pcyclic import BlockPCyclic, random_pcyclic
+from repro.perf.tracer import FlopTracer
+
+
+def stitch(G):
+    b = G.shape[0]
+    return np.block([[G[i, j] for j in range(b)] for i in range(b)])
+
+
+class TestFactorisation:
+    @pytest.mark.parametrize("b,N", [(2, 3), (3, 4), (4, 2), (7, 5)])
+    def test_qr_reproduces_m(self, b, N):
+        pc = random_pcyclic(b, N, np.random.default_rng(b * 10 + N), scale=0.8)
+        f = bsofi_qr(pc)
+        np.testing.assert_allclose(
+            f.to_dense_q() @ f.to_dense_r(), pc.to_dense(), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("b,N", [(2, 3), (4, 3), (6, 2)])
+    def test_q_is_orthogonal(self, b, N):
+        pc = random_pcyclic(b, N, np.random.default_rng(b), scale=0.8)
+        Q = bsofi_qr(pc).to_dense_q()
+        np.testing.assert_allclose(Q.T @ Q, np.eye(b * N), atol=1e-12)
+
+    def test_r_diagonal_blocks_triangular(self):
+        pc = random_pcyclic(5, 4, np.random.default_rng(1), scale=0.8)
+        f = bsofi_qr(pc)
+        for i in range(5):
+            lower = np.tril(f.Rd[i], k=-1)
+            np.testing.assert_allclose(lower, 0.0, atol=1e-14)
+
+    def test_r_structure_sparsity(self):
+        """R has only diagonal, superdiagonal and last-column blocks."""
+        b, N = 5, 3
+        pc = random_pcyclic(b, N, np.random.default_rng(2), scale=0.8)
+        R = bsofi_qr(pc).to_dense_r()
+        for i in range(b):
+            for j in range(b):
+                if j in (i, i + 1, b - 1) and j >= i:
+                    continue
+                blk = R[i * N : (i + 1) * N, j * N : (j + 1) * N]
+                np.testing.assert_allclose(blk, 0.0, atol=1e-14)
+
+    def test_rejects_single_block(self):
+        pc = random_pcyclic(1, 3, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="at least 2"):
+            bsofi_qr(pc)
+
+    def test_factor_shapes(self):
+        b, N = 6, 3
+        f = bsofi_qr(random_pcyclic(b, N, np.random.default_rng(0), scale=0.8))
+        assert f.Rd.shape == (b, N, N)
+        assert f.Ru.shape == (b - 1, N, N)
+        assert f.Rc.shape == (b - 2, N, N)
+        assert f.Q.shape == (b - 1, 2 * N, 2 * N)
+        assert f.Qf.shape == (N, N)
+        assert f.b == b and f.N == N
+
+
+class TestInverse:
+    @pytest.mark.parametrize("b,N", [(1, 4), (2, 3), (3, 5), (5, 4), (8, 3)])
+    def test_matches_dense_inverse(self, b, N):
+        pc = random_pcyclic(b, N, np.random.default_rng(b + N), scale=0.7)
+        G = bsofi(pc)
+        np.testing.assert_allclose(
+            stitch(G), np.linalg.inv(pc.to_dense()), atol=1e-10
+        )
+
+    def test_hubbard_matrix(self, hubbard_pc):
+        G = bsofi(hubbard_pc)
+        np.testing.assert_allclose(
+            stitch(G), np.linalg.inv(hubbard_pc.to_dense()), atol=1e-9
+        )
+
+    def test_residual_mg_is_identity(self):
+        pc = random_pcyclic(4, 6, np.random.default_rng(9), scale=0.7)
+        G = stitch(bsofi(pc))
+        np.testing.assert_allclose(
+            pc.to_dense() @ G, np.eye(24), atol=1e-11
+        )
+
+    def test_output_shape(self):
+        pc = random_pcyclic(3, 4, np.random.default_rng(0), scale=0.5)
+        assert bsofi(pc).shape == (3, 3, 4, 4)
+
+
+class TestStability:
+    def test_graded_blocks_no_blowup(self):
+        """Blocks with widely spread singular values (what CLS produces at
+        low temperature) — the orthogonal factorisation must stay accurate
+        when a naive LU of the *product form* would not."""
+        rng = np.random.default_rng(4)
+        b, N = 4, 6
+        B = np.empty((b, N, N))
+        for i in range(b):
+            U, _ = np.linalg.qr(rng.standard_normal((N, N)))
+            V, _ = np.linalg.qr(rng.standard_normal((N, N)))
+            s = np.logspace(3, -3, N)  # condition 1e6 per block
+            B[i] = (U * s) @ V.T
+        pc = BlockPCyclic(B)
+        G = stitch(bsofi(pc))
+        resid = np.abs(pc.to_dense() @ G - np.eye(b * N)).max()
+        assert resid < 1e-8
+
+    def test_near_singular_diagonal_survives(self):
+        """The final diagonal X_b may be ill-conditioned; QR handles it."""
+        rng = np.random.default_rng(5)
+        pc = random_pcyclic(3, 5, rng, scale=0.99)
+        G = stitch(bsofi(pc))
+        resid = np.abs(pc.to_dense() @ G - np.eye(15)).max()
+        assert resid < 1e-9
+
+
+class TestFlops:
+    def test_formula(self):
+        assert bsofi_flops(10, 100) == 7.0 * 100 * 100**3
+
+    def test_formula_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            bsofi_flops(0, 10)
+
+    def test_measured_scales_quadratically_in_b(self):
+        rng = np.random.default_rng(0)
+        counts = {}
+        for b in (4, 8):
+            pc = random_pcyclic(b, 8, rng, scale=0.5)
+            with FlopTracer() as tr:
+                bsofi(pc)
+            counts[b] = tr.total_flops
+        ratio = counts[8] / counts[4]
+        # 7 b^2 N^3 dominant term: doubling b should ~4x the flops.
+        assert 2.5 < ratio < 5.5

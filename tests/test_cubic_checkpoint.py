@@ -1,0 +1,161 @@
+"""3-D cubic lattice substrate and DQMC checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.dqmc import DQMC, DQMCConfig
+from repro.dqmc.checkpoint import load_checkpoint, save_checkpoint
+from repro.hubbard import HubbardModel
+from repro.hubbard.cubic import CubicLattice
+
+
+class TestCubicLattice:
+    @pytest.fixture(scope="class")
+    def lat(self):
+        return CubicLattice(3, 3, 3)
+
+    def test_indexing_roundtrip(self, lat):
+        for i in range(lat.nsites):
+            assert lat.site_index(*lat.coordinates(i)) == i
+
+    def test_periodic_indexing(self, lat):
+        assert lat.site_index(3, 0, 0) == lat.site_index(0, 0, 0)
+        assert lat.site_index(0, -1, 0) == lat.site_index(0, 2, 0)
+
+    def test_neighbors_bulk_count(self):
+        lat = CubicLattice(4, 4, 4)
+        assert all(len(lat.neighbors(i)) == 6 for i in range(lat.nsites))
+
+    def test_degenerate_extent(self):
+        lat = CubicLattice(2, 3, 3)
+        # x-direction neighbors coincide -> 5 distinct.
+        assert len(lat.neighbors(0)) == 5
+
+    def test_reduces_to_2d(self):
+        """nz = 1: adjacency must match the 2-D rectangular lattice."""
+        from repro.hubbard.lattice import RectangularLattice
+
+        lat3 = CubicLattice(4, 3, 1)
+        lat2 = RectangularLattice(4, 3)
+        np.testing.assert_array_equal(lat3.adjacency, lat2.adjacency)
+
+    def test_adjacency_symmetric(self, lat):
+        K = lat.adjacency
+        np.testing.assert_array_equal(K, K.T)
+        np.testing.assert_array_equal(np.diag(K), 0.0)
+
+    def test_distance_classes_partition(self, lat):
+        total = sum(len(lat.pairs_in_class(d)) for d in range(lat.d_max))
+        assert total == lat.nsites**2
+
+    def test_nearest_class_matches_adjacency(self, lat):
+        D, radii = lat.distance_classes
+        assert radii[1] == 1.0
+        np.testing.assert_array_equal((D == 1).astype(float), lat.adjacency)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CubicLattice(0, 2, 2)
+
+
+class TestDQMCOn3DLattice:
+    """The whole engine runs unchanged on the 3-D substrate."""
+
+    def test_full_simulation(self):
+        lat = CubicLattice(2, 2, 2)
+        model = HubbardModel(lat, L=8, t=1.0, U=4.0, beta=2.0)
+        sim = DQMC(
+            model,
+            DQMCConfig(warmup_sweeps=2, measurement_sweeps=4, c=4,
+                       bin_size=2, seed=3, num_threads=1),
+        )
+        res = sim.run()
+        density, _ = res.observable("density")
+        docc, _ = res.observable("double_occupancy")
+        # 2x2x2 periodic cube is bipartite: density exactly 1.
+        assert float(density) == pytest.approx(1.0, abs=1e-9)
+        assert float(docc) < 0.25
+        assert res.spxx_mean.shape == (8, lat.d_max)
+
+    def test_fsi_correctness_3d(self):
+        from repro.core import Pattern, fsi
+        from repro.hubbard import HSField
+
+        lat = CubicLattice(2, 2, 2)
+        model = HubbardModel(lat, L=8, U=4.0, beta=2.0)
+        field = HSField.random(8, 8, np.random.default_rng(1))
+        pc = model.build_matrix(field, +1)
+        G = np.linalg.inv(pc.to_dense())
+        res = fsi(pc, 4, pattern=Pattern.COLUMNS, q=1, num_threads=1)
+        assert res.selected.max_relative_error(G) < 1e-11
+
+
+class TestCheckpoint:
+    def make_sim(self, seed=9):
+        model = HubbardModel(
+            __import__("repro.hubbard", fromlist=["RectangularLattice"])
+            .RectangularLattice(3, 3),
+            L=8,
+            U=4.0,
+            beta=2.0,
+        )
+        return DQMC(
+            model,
+            DQMCConfig(warmup_sweeps=0, measurement_sweeps=0, c=4,
+                       nwrap=4, seed=seed, num_threads=1),
+        )
+
+    def test_resume_reproduces_trajectory(self, tmp_path):
+        """2 sweeps + checkpoint + 2 sweeps == 4 uninterrupted sweeps."""
+        path = tmp_path / "ckpt.npz"
+        a = self.make_sim()
+        for _ in range(2):
+            a.sweep()
+        save_checkpoint(a, path)
+        for _ in range(2):
+            a.sweep()
+
+        b = self.make_sim()
+        load_checkpoint(b, path)
+        for _ in range(2):
+            b.sweep()
+        np.testing.assert_array_equal(a.field.h, b.field.h)
+        assert a.stats.proposed == b.stats.proposed
+        assert a.stats.accepted == b.stats.accepted
+
+    def test_state_fields_restored(self, tmp_path):
+        path = tmp_path / "c.npz"
+        a = self.make_sim()
+        a.sweep()
+        save_checkpoint(a, path)
+        b = self.make_sim(seed=1234)  # different seed; state overwritten
+        load_checkpoint(b, path)
+        np.testing.assert_array_equal(a.field.h, b.field.h)
+        assert b.config_sign == a.config_sign
+        assert b.max_wrap_drift == a.max_wrap_drift
+        # RNG streams now aligned:
+        assert a.rng.random() == b.rng.random()
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        a = self.make_sim()
+        save_checkpoint(a, path)
+        data = dict(np.load(path))
+        data["version"] = np.array(999)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(self.make_sim(), path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(self.make_sim(), path)
+        model = HubbardModel(
+            __import__("repro.hubbard", fromlist=["RectangularLattice"])
+            .RectangularLattice(2, 2),
+            L=8,
+            U=4.0,
+            beta=2.0,
+        )
+        other = DQMC(model, DQMCConfig(c=4, seed=0))
+        with pytest.raises(ValueError, match="does not match"):
+            load_checkpoint(other, path)

@@ -1,0 +1,177 @@
+"""Arbitrary-block wrapping, BTD solver, extended engine measurements,
+and the strong-scaling model curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.custom_wrap import nearest_seed, torus_distance, wrap_blocks
+from repro.core.fsi import fsi
+from repro.core.patterns import Pattern, seed_indices
+from repro.core.pcyclic import random_pcyclic, torus_index
+from repro.dqmc import DQMC, DQMCConfig
+from repro.hubbard import HubbardModel, RectangularLattice
+from repro.perf.model import strong_scaling_curve
+from repro.tridiag import random_btd
+from repro.tridiag.solve import BTDSolver
+
+
+class TestTorusDistance:
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(2, 30))
+    def test_roundtrip_and_bound(self, a_raw, b_raw, L):
+        a, b = torus_index(a_raw, L), torus_index(b_raw, L)
+        d = torus_distance(a, b, L)
+        assert torus_index(b + d, L) == a
+        assert -L // 2 <= d <= L // 2
+
+    def test_seam_cases(self):
+        assert torus_distance(1, 12, 12) == 1
+        assert torus_distance(12, 1, 12) == -1
+        assert torus_distance(1, 7, 12) == 6  # tie -> positive
+
+
+class TestNearestSeed:
+    def test_seed_maps_to_itself(self):
+        L, c, q = 12, 4, 1
+        for i0, k in enumerate(seed_indices(L, c, q), start=1):
+            assert nearest_seed(k, k, L, c, q) == (i0, i0)
+
+    def test_neighbour_maps_to_adjacent_seed(self):
+        L, c, q = 12, 4, 0  # seeds 4, 8, 12
+        k0, _ = nearest_seed(5, 4, L, c, q)
+        assert k0 == 1  # row 5 nearest to seed row 4
+
+
+class TestWrapBlocks:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        L, N, c, q = 12, 4, 4, 1
+        pc = random_pcyclic(L, N, np.random.default_rng(3), scale=0.65)
+        Gd = np.linalg.inv(pc.to_dense())
+        res = fsi(pc, c, pattern=Pattern.DIAGONAL, q=q, num_threads=1)
+        return pc, Gd, res, c, q
+
+    def test_every_position_accurate(self, problem):
+        pc, Gd, res, c, q = problem
+        L, N = pc.L, pc.N
+        blocks = [(k, l) for k in range(1, L + 1) for l in range(1, L + 1)]
+        out = wrap_blocks(pc, res.seeds, c, q, blocks)
+        for k, l in blocks:
+            ref = Gd[(k - 1) * N : k * N, (l - 1) * N : l * N]
+            np.testing.assert_allclose(out[(k, l)], ref, atol=1e-9)
+
+    def test_sparse_query(self, problem):
+        pc, Gd, res, c, q = problem
+        N = pc.N
+        out = wrap_blocks(pc, res.seeds, c, q, [(2, 9), (11, 1)])
+        assert set(out) == {(2, 9), (11, 1)}
+        np.testing.assert_allclose(
+            out[(11, 1)], Gd[10 * N : 11 * N, :N], atol=1e-9
+        )
+
+    def test_torus_wrapped_request(self, problem):
+        pc, _, res, c, q = problem
+        out = wrap_blocks(pc, res.seeds, c, q, [(0, 13)])
+        assert (pc.L, 1) in out
+
+    def test_seed_positions_returned_directly(self, problem):
+        pc, _, res, c, q = problem
+        seeds = seed_indices(pc.L, c, q)
+        out = wrap_blocks(pc, res.seeds, c, q, [(seeds[0], seeds[1])])
+        np.testing.assert_array_equal(out[(seeds[0], seeds[1])], res.seeds[0, 1])
+
+    def test_bad_seed_shape(self, problem):
+        pc, _, res, c, q = problem
+        with pytest.raises(ValueError, match="seed grid"):
+            wrap_blocks(pc, res.seeds[:1], c, q, [(1, 1)])
+
+
+class TestBTDSolver:
+    @pytest.fixture(scope="class")
+    def J(self):
+        return random_btd(9, 4, np.random.default_rng(1))
+
+    def test_solve_residual(self, J):
+        s = BTDSolver(J)
+        rhs = np.random.default_rng(2).standard_normal((36, 3))
+        np.testing.assert_allclose(J.matvec(s.solve(rhs)), rhs, atol=1e-10)
+
+    def test_factor_once_solve_many(self, J):
+        s = BTDSolver(J)
+        for seed in (3, 4):
+            rhs = np.random.default_rng(seed).standard_normal(36)
+            np.testing.assert_allclose(J.matvec(s.solve(rhs)), rhs, atol=1e-10)
+
+    def test_matches_oneshot(self, J):
+        from repro.tridiag.rgf import btd_solve
+
+        rhs = np.ones(36)
+        np.testing.assert_allclose(
+            BTDSolver(J).solve(rhs), btd_solve(J, rhs), atol=1e-12
+        )
+
+    def test_slogdet(self, J):
+        sign, logabs = BTDSolver(J).slogdet()
+        rs, rl = np.linalg.slogdet(J.to_dense())
+        assert sign == pytest.approx(rs)
+        assert logabs == pytest.approx(rl, rel=1e-10)
+
+    def test_bad_rhs(self, J):
+        with pytest.raises(ValueError, match="leading dim"):
+            BTDSolver(J).solve(np.ones(7))
+
+
+class TestExtendedEngineMeasurements:
+    def test_extended_observables_present(self):
+        model = HubbardModel(RectangularLattice(3, 3), L=8, U=4.0, beta=2.0)
+        sim = DQMC(
+            model,
+            DQMCConfig(
+                warmup_sweeps=1,
+                measurement_sweeps=2,
+                c=4,
+                bin_size=1,
+                seed=4,
+                num_threads=1,
+                measure_extended=True,
+            ),
+        )
+        res = sim.run()
+        for name in ("charge_corr", "pairing_corr", "s_afm", "g_loc_tau", "szz_tau"):
+            mean, err = res.observable(name)
+            assert np.all(np.isfinite(mean))
+        g_loc, _ = res.observable("g_loc_tau")
+        assert g_loc.shape == (model.L,)
+        assert np.all(np.asarray(g_loc) > -1e-8)
+        szz_t, _ = res.observable("szz_tau")
+        assert szz_t.shape == (model.L, model.lattice.d_max)
+
+    def test_extended_off_by_default(self):
+        model = HubbardModel(RectangularLattice(2, 2), L=8, U=4.0, beta=2.0)
+        sim = DQMC(
+            model,
+            DQMCConfig(warmup_sweeps=0, measurement_sweeps=1, c=4,
+                       bin_size=1, seed=1, num_threads=1),
+        )
+        res = sim.run()
+        assert "charge_corr" not in res.estimates
+
+
+class TestStrongScaling:
+    def test_near_linear_until_starved(self):
+        sc = strong_scaling_curve(576, 100, 10, 2400, threads_per_rank=2)
+        assert sc["efficiency"][0] == pytest.approx(1.0)
+        # Up to 100 nodes (1200 ranks, 2 matrices each) efficiency ~1.
+        idx100 = sc["nodes"].index(100.0)
+        assert sc["efficiency"][idx100] > 0.95
+
+    def test_starvation_plateaus(self):
+        """Past one matrix per rank the rate stops growing."""
+        sc = strong_scaling_curve(
+            400, 100, 10, 240, node_counts=[10, 20, 40], threads_per_rank=1
+        )
+        # 10 nodes = 240 ranks = exactly one matrix per rank; doubling
+        # nodes cannot speed up a 1-matrix critical path.
+        assert sc["tflops"][1] == pytest.approx(sc["tflops"][0], rel=0.05)
+        assert sc["efficiency"][-1] < 0.5

@@ -1,0 +1,121 @@
+"""Delayed Green's-function updates: equivalence with eager rank-1 kicks."""
+
+import numpy as np
+import pytest
+
+from repro.core.greens_explicit import equal_time_greens
+from repro.dqmc.delayed import DelayedGreens
+from repro.dqmc.engine import DQMC, DQMCConfig
+from repro.dqmc.updates import apply_flip, gamma_factor, init_wrapped, metropolis_ratio
+from repro.hubbard import HubbardModel, RectangularLattice
+
+
+@pytest.fixture
+def Gw(hubbard_model, hubbard_field):
+    pc = hubbard_model.build_matrix(hubbard_field, +1)
+    return init_wrapped(equal_time_greens(pc, 2), hubbard_model)
+
+
+class TestAccessors:
+    def test_diag_col_row_no_pending(self, Gw):
+        dg = DelayedGreens(Gw.copy(), delay=4)
+        assert dg.diag(3) == pytest.approx(Gw[3, 3])
+        np.testing.assert_allclose(dg.col(3), Gw[:, 3])
+        np.testing.assert_allclose(dg.row(3), Gw[3, :])
+
+    def test_pending_accessors_match_eager(self, Gw, hubbard_model):
+        eager = Gw.copy()
+        dg = DelayedGreens(Gw.copy(), delay=8)
+        gamma = gamma_factor(hubbard_model, 1, +1)
+        for i in (0, 4):
+            r = metropolis_ratio(eager, i, gamma)
+            rd = dg.ratio(i, gamma)
+            assert rd == pytest.approx(r, rel=1e-12)
+            apply_flip(eager, i, gamma, r)
+            dg.accept(i, gamma, rd)
+        assert dg.pending == 2
+        # Entries read through the pending buffers must match eager.
+        for i in range(Gw.shape[0]):
+            assert dg.diag(i) == pytest.approx(eager[i, i], abs=1e-12)
+        np.testing.assert_allclose(dg.col(2), eager[:, 2], atol=1e-12)
+        np.testing.assert_allclose(dg.row(5), eager[5, :], atol=1e-12)
+
+    def test_flush_matches_eager(self, Gw, hubbard_model):
+        eager = Gw.copy()
+        dg = DelayedGreens(Gw.copy(), delay=16)
+        gamma = gamma_factor(hubbard_model, -1, +1)
+        for i in (1, 3, 7):
+            r = metropolis_ratio(eager, i, gamma)
+            apply_flip(eager, i, gamma, r)
+            dg.accept(i, gamma, dg.ratio(i, gamma))
+        np.testing.assert_allclose(dg.matrix, eager, atol=1e-11)
+        assert dg.pending == 0
+
+    def test_auto_flush_at_capacity(self, Gw, hubbard_model):
+        dg = DelayedGreens(Gw.copy(), delay=2)
+        gamma = gamma_factor(hubbard_model, 1, +1)
+        dg.accept(0, gamma, dg.ratio(0, gamma))
+        assert dg.pending == 1
+        dg.accept(1, gamma, dg.ratio(1, gamma))
+        assert dg.pending == 0  # flushed automatically
+
+    def test_validation(self, Gw):
+        with pytest.raises(ValueError, match="delay"):
+            DelayedGreens(Gw, delay=0)
+
+    def test_flush_idempotent(self, Gw):
+        dg = DelayedGreens(Gw.copy(), delay=4)
+        before = dg.G.copy()
+        dg.flush()
+        dg.flush()
+        np.testing.assert_array_equal(dg.G, before)
+
+
+class TestEngineIntegration:
+    @pytest.fixture
+    def model(self):
+        return HubbardModel(RectangularLattice(3, 3), L=8, U=4.0, beta=2.0)
+
+    def make(self, model, delay):
+        return DQMC(
+            model,
+            DQMCConfig(
+                warmup_sweeps=1,
+                measurement_sweeps=3,
+                c=4,
+                nwrap=4,
+                bin_size=1,
+                seed=11,
+                num_threads=1,
+                delay=delay,
+            ),
+        )
+
+    def test_delayed_trajectory_matches_eager(self, model):
+        """Same RNG stream, same accept/reject decisions, same field."""
+        eager = self.make(model, delay=1)
+        delayed = self.make(model, delay=8)
+        eager.sweep()
+        delayed.sweep()
+        np.testing.assert_array_equal(eager.field.h, delayed.field.h)
+        assert eager.stats.accepted == delayed.stats.accepted
+
+    def test_delayed_observables_match(self, model):
+        r1 = self.make(model, delay=1).run()
+        r8 = self.make(model, delay=8).run()
+        np.testing.assert_allclose(
+            float(r1.observable("kinetic_energy")[0]),
+            float(r8.observable("kinetic_energy")[0]),
+            rtol=1e-8,
+        )
+        np.testing.assert_allclose(r1.spxx_mean, r8.spxx_mean, atol=1e-8)
+
+    def test_delayed_wrap_drift_stays_small(self, model):
+        sim = self.make(model, delay=4)
+        for _ in range(2):
+            sim.sweep()
+        assert sim.max_wrap_drift < 1e-7
+
+    def test_config_validation(self, model):
+        with pytest.raises(ValueError, match="delay"):
+            DQMCConfig(delay=0)

@@ -1,0 +1,101 @@
+"""Site-dependent chemical potential (the disordered Hubbard model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.greens_explicit import equal_time_greens
+from repro.dqmc import DQMC, DQMCConfig, density_profile, moment_profile
+from repro.dqmc.ed import ExactDiagonalization
+from repro.hubbard import HSField, HubbardModel, RectangularLattice
+
+
+@pytest.fixture(scope="module")
+def disordered_model():
+    rng = np.random.default_rng(0)
+    mu_i = rng.normal(0.0, 0.5, 4)
+    return HubbardModel(RectangularLattice(2, 2), L=8, U=4.0, beta=2.0, mu=mu_i)
+
+
+class TestConstruction:
+    def test_array_mu_stored(self, disordered_model):
+        assert np.ndim(disordered_model.mu) == 1
+        assert disordered_model.mu.shape == (4,)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="site-dependent mu"):
+            HubbardModel(RectangularLattice(2, 2), L=4, mu=np.ones(3))
+
+    def test_scalar_still_works(self):
+        m = HubbardModel(RectangularLattice(2, 2), L=4, mu=0.3)
+        assert np.ndim(m.mu) == 0
+
+    def test_slice_inverse_exact(self, disordered_model):
+        field = HSField.random(8, 4, np.random.default_rng(1))
+        B = disordered_model.slice_matrix(field.slice(0), +1)
+        Binv = disordered_model.slice_matrix_inv(field.slice(0), +1)
+        np.testing.assert_allclose(B @ Binv, np.eye(4), atol=1e-12)
+
+    def test_uniform_array_equals_scalar(self):
+        lat = RectangularLattice(2, 2)
+        field = HSField.random(4, 4, np.random.default_rng(2))
+        m_arr = HubbardModel(lat, L=4, U=4.0, beta=2.0, mu=np.full(4, 0.3))
+        m_sc = HubbardModel(lat, L=4, U=4.0, beta=2.0, mu=0.3)
+        np.testing.assert_allclose(
+            m_arr.build_matrix(field).B, m_sc.build_matrix(field).B, atol=1e-14
+        )
+
+
+class TestUpdateAlgebra:
+    def test_ratio_matches_determinant(self, disordered_model):
+        from repro.dqmc.updates import gamma_factor, init_wrapped, metropolis_ratio
+
+        field = HSField.random(8, 4, np.random.default_rng(3))
+        pc = disordered_model.build_matrix(field, +1)
+        Gw = init_wrapped(equal_time_greens(pc, 2), disordered_model)
+        g = gamma_factor(disordered_model, int(field.h[1, 2]), +1)
+        r = metropolis_ratio(Gw, 2, g)
+        flipped = field.copy()
+        flipped.flip(1, 2)
+        d0 = np.linalg.det(pc.to_dense())
+        d1 = np.linalg.det(disordered_model.build_matrix(flipped, +1).to_dense())
+        assert r == pytest.approx(d1 / d0, rel=1e-9)
+
+
+class TestPhysics:
+    def test_dqmc_matches_ed(self, disordered_model):
+        ed = ExactDiagonalization(disordered_model)
+        sim = DQMC(
+            disordered_model,
+            DQMCConfig(warmup_sweeps=20, measurement_sweeps=120, c=4, nwrap=4,
+                       bin_size=10, seed=5, num_threads=1,
+                       measure_time_dependent=False, sign_resync_every=20),
+        )
+        res = sim.run()
+        mean, err = res.observable("density")
+        tol = max(4.0 * float(err), 0.02)
+        assert abs(float(mean) - ed.density(2.0)) < tol
+
+    def test_density_profile_tracks_potential(self, disordered_model):
+        """Deeper wells (larger mu_i) attract more density, averaged
+        over HS configurations."""
+        profiles = []
+        for seed in range(6):
+            field = HSField.random(8, 4, np.random.default_rng(seed))
+            gu = equal_time_greens(disordered_model.build_matrix(field, +1), 1)
+            gd = equal_time_greens(disordered_model.build_matrix(field, -1), 1)
+            profiles.append(density_profile(gu, gd))
+        profile = np.mean(profiles, axis=0)
+        mu = disordered_model.mu
+        corr = np.corrcoef(profile, mu)[0, 1]
+        assert corr > 0.9
+
+    def test_moment_profile_identity(self, disordered_model):
+        field = HSField.random(8, 4, np.random.default_rng(7))
+        gu = equal_time_greens(disordered_model.build_matrix(field, +1), 1)
+        gd = equal_time_greens(disordered_model.build_matrix(field, -1), 1)
+        n = density_profile(gu, gd)
+        m = moment_profile(gu, gd)
+        n_up = 1 - np.diag(gu)
+        n_dn = 1 - np.diag(gd)
+        np.testing.assert_allclose(m, n - 2 * n_up * n_dn, atol=1e-12)
+        assert np.all(m >= -1e-12)

@@ -1,0 +1,159 @@
+"""The DQMC engine: sweeps, Green's bundles, full runs."""
+
+import numpy as np
+import pytest
+
+from repro.dqmc.engine import DQMC, DQMCConfig
+from repro.hubbard import HubbardModel, RectangularLattice
+
+
+@pytest.fixture
+def model():
+    return HubbardModel(RectangularLattice(3, 3), L=8, t=1.0, U=4.0, beta=2.0)
+
+
+def make_sim(model, **kw):
+    defaults = dict(
+        warmup_sweeps=1,
+        measurement_sweeps=2,
+        c=4,
+        nwrap=4,
+        bin_size=1,
+        seed=3,
+        num_threads=1,
+    )
+    defaults.update(kw)
+    return DQMC(model, DQMCConfig(**defaults))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DQMCConfig(warmup_sweeps=-1)
+        with pytest.raises(ValueError):
+            DQMCConfig(nwrap=0)
+
+    def test_default_c_rule(self, model):
+        sim = DQMC(model, DQMCConfig(c=None, seed=0))
+        assert sim.c == 2  # recommend_c(8)
+
+    def test_c_must_divide_L(self, model):
+        with pytest.raises(ValueError, match="divide"):
+            DQMC(model, DQMCConfig(c=3, seed=0))
+
+
+class TestSweep:
+    def test_field_stays_ising(self, model):
+        sim = make_sim(model)
+        sim.sweep()
+        assert set(np.unique(sim.field.h)) <= {-1, 1}
+
+    def test_acceptance_reasonable(self, model):
+        sim = make_sim(model)
+        for _ in range(3):
+            sim.sweep()
+        assert 0.05 < sim.stats.acceptance_rate < 0.95
+        assert sim.stats.proposed == 3 * model.L * model.N
+
+    def test_wrap_drift_small(self, model):
+        sim = make_sim(model)
+        for _ in range(2):
+            sim.sweep()
+        assert sim.max_wrap_drift < 1e-7
+
+    def test_no_negative_ratios_at_half_filling(self, model):
+        sim = make_sim(model)
+        for _ in range(2):
+            sim.sweep()
+        assert sim.stats.negative_ratios == 0
+
+    def test_deterministic_given_seed(self, model):
+        a, b = make_sim(model), make_sim(model)
+        a.sweep()
+        b.sweep()
+        np.testing.assert_array_equal(a.field.h, b.field.h)
+
+
+class TestComputeGreens:
+    def test_bundle_contents(self, model):
+        sim = make_sim(model)
+        bundles = sim.compute_greens(q=1)
+        for sigma in (+1, -1):
+            gb = bundles[sigma]
+            assert len(gb.full_diagonal) == model.L
+            assert gb.rows is not None and gb.cols is not None
+            assert gb.rows.selection.q == 1
+            assert gb.cols.selection.q == 1
+
+    def test_accuracy_vs_dense(self, model):
+        sim = make_sim(model)
+        bundles = sim.compute_greens(q=2)
+        for sigma in (+1, -1):
+            pc = model.build_matrix(sim.field, sigma)
+            G = np.linalg.inv(pc.to_dense())
+            assert bundles[sigma].full_diagonal.max_relative_error(G) < 1e-10
+            assert bundles[sigma].rows.max_relative_error(G) < 1e-10
+
+    def test_time_dependent_off(self, model):
+        sim = make_sim(model, measure_time_dependent=False)
+        bundles = sim.compute_greens()
+        assert bundles[+1].rows is None and bundles[+1].cols is None
+
+
+class TestRun:
+    def test_full_run_outputs(self, model):
+        res = make_sim(model, warmup_sweeps=2, measurement_sweeps=4).run()
+        assert res.sweeps == 6
+        assert "density" in res.estimates
+        assert res.spxx_mean is not None
+        assert res.spxx_mean.shape == (model.L, model.lattice.d_max)
+        assert res.greens_seconds > 0
+        assert res.measurement_seconds > 0
+        assert res.average_sign == 1.0
+
+    def test_physics_sanity(self, model):
+        """Half filling: density ~1 (3x3 is non-bipartite, so only up to
+        MC noise), repulsion suppresses double occupancy, local moment
+        enhanced over the free value 0.5."""
+        res = make_sim(model, warmup_sweeps=3, measurement_sweeps=8).run()
+        density, _ = res.observable("density")
+        docc, _ = res.observable("double_occupancy")
+        moment, _ = res.observable("local_moment")
+        assert float(density) == pytest.approx(1.0, abs=0.05)
+        assert float(docc) < 0.25
+        assert float(moment) > 0.5
+
+    def test_density_exact_on_bipartite_lattice(self):
+        """On 4x4 (bipartite) the density is exactly 1, configuration by
+        configuration — a strong end-to-end check of the whole engine."""
+        model = HubbardModel(RectangularLattice(4, 4), L=8, U=4.0, beta=2.0)
+        res = make_sim(model, warmup_sweeps=1, measurement_sweeps=3).run()
+        density, err = res.observable("density")
+        assert float(density) == pytest.approx(1.0, abs=1e-9)
+        assert float(err) == pytest.approx(0.0, abs=1e-9)
+
+    def test_equal_time_only_run(self, model):
+        res = make_sim(model, measure_time_dependent=False).run()
+        assert res.spxx_mean is None
+        assert "density" in res.estimates
+
+    def test_no_measurement_sweeps(self, model):
+        res = make_sim(model, warmup_sweeps=1, measurement_sweeps=0).run()
+        assert res.estimates == {}
+
+    def test_deterministic_estimates(self, model):
+        r1 = make_sim(model).run()
+        r2 = make_sim(model).run()
+        np.testing.assert_allclose(
+            r1.observable("density")[0], r2.observable("density")[0]
+        )
+        np.testing.assert_allclose(r1.spxx_mean, r2.spxx_mean)
+
+    def test_threads_do_not_change_estimates(self, model):
+        r1 = make_sim(model, num_threads=1).run()
+        r2 = make_sim(model, num_threads=4).run()
+        np.testing.assert_allclose(
+            float(r1.observable("kinetic_energy")[0]),
+            float(r2.observable("kinetic_energy")[0]),
+            rtol=1e-10,
+        )

@@ -1,0 +1,41 @@
+"""Every example script runs to completion (each self-asserts its
+physics claims), executed as subprocesses against the installed package."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "dqmc_hubbard",
+        "spin_correlations",
+        "hybrid_cluster",
+        "markov_resolvent",
+        "twisted_boundaries",
+        "structure_factors",
+        "disorder_profiles",
+        "attractive_pairing",
+    } <= names

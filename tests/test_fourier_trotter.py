@@ -1,0 +1,144 @@
+"""Momentum-space utilities and Trotter extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.greens_explicit import equal_time_greens
+from repro.dqmc.autocorr import geweke_z
+from repro.dqmc.correlations import afm_structure_factor
+from repro.dqmc.fourier import (
+    from_distance_classes,
+    lattice_momenta,
+    structure_factor_grid,
+)
+from repro.dqmc.trotter import ExtrapolationResult, extrapolate, richardson
+from repro.hubbard import HSField, HubbardModel, RectangularLattice
+
+
+class TestLatticeMomenta:
+    def test_count_and_range(self):
+        lat = RectangularLattice(4, 3)
+        q = lattice_momenta(lat)
+        assert q.shape == (12, 2)
+        assert np.all(q >= 0) and np.all(q < 2 * np.pi)
+
+    def test_contains_gamma_and_pi_point(self):
+        q = lattice_momenta(RectangularLattice(4, 4))
+        assert any(np.allclose(row, [0, 0]) for row in q)
+        assert any(np.allclose(row, [np.pi, np.pi]) for row in q)
+
+
+class TestStructureFactorGrid:
+    @pytest.fixture
+    def lattice(self):
+        return RectangularLattice(4, 4)
+
+    def test_parseval(self, lattice, rng):
+        C = rng.standard_normal((16, 16))
+        C = C + C.T
+        _, S = structure_factor_grid(C, lattice)
+        assert S.sum() == pytest.approx(np.trace(C), rel=1e-10)
+
+    def test_identity_correlation_flat(self, lattice):
+        _, S = structure_factor_grid(np.eye(16), lattice)
+        np.testing.assert_allclose(S, 1.0 / 16 * 16, atol=1e-12)  # all 1
+
+    def test_afm_point_matches_correlations_module(self, lattice):
+        model = HubbardModel(lattice, L=8, U=4.0, beta=2.0)
+        field = HSField.random(8, 16, np.random.default_rng(3))
+        G_up = equal_time_greens(model.build_matrix(field, +1), 1)
+        G_dn = equal_time_greens(model.build_matrix(field, -1), 1)
+        # Build the pairwise szz matrix and transform.
+        N = 16
+        eye = np.eye(N)
+        n_up = 1 - np.diag(G_up)
+        n_dn = 1 - np.diag(G_dn)
+        pair = 0.25 * (
+            np.multiply.outer(n_up, n_up) + (eye - G_up.T) * G_up
+            + np.multiply.outer(n_dn, n_dn) + (eye - G_dn.T) * G_dn
+            - np.multiply.outer(n_up, n_dn) - np.multiply.outer(n_dn, n_up)
+        )
+        q, S = structure_factor_grid(pair, lattice)
+        pi_idx = next(
+            i for i, row in enumerate(q) if np.allclose(row, [np.pi, np.pi])
+        )
+        assert S[pi_idx] == pytest.approx(
+            afm_structure_factor(G_up, G_dn, lattice), rel=1e-10
+        )
+
+    def test_shape_validation(self, lattice):
+        with pytest.raises(ValueError, match="must be"):
+            structure_factor_grid(np.eye(5), lattice)
+
+
+class TestFromDistanceClasses:
+    def test_roundtrip_class_constant(self):
+        lat = RectangularLattice(3, 3)
+        D, radii = lat.distance_classes
+        vals = np.arange(len(radii), dtype=float)
+        C = from_distance_classes(vals, lat)
+        assert C.shape == (9, 9)
+        for d in range(len(radii)):
+            assert np.all(C[D == d] == d)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="class values"):
+            from_distance_classes(np.ones(2), RectangularLattice(3, 3))
+
+
+class TestExtrapolation:
+    def test_recovers_intercept(self):
+        dt = np.array([0.25, 0.125, 0.0625, 0.03125])
+        vals = 1.7 + 0.8 * dt**2
+        r = extrapolate(dt, vals)
+        assert isinstance(r, ExtrapolationResult)
+        assert r.value == pytest.approx(1.7, abs=1e-10)
+        assert r.coefficients[1] == pytest.approx(0.8, abs=1e-8)
+
+    def test_weighted_errors_propagate(self):
+        dt = np.array([0.2, 0.1, 0.05])
+        vals = 2.0 + 3.0 * dt**2
+        r = extrapolate(dt, vals, errors=np.full(3, 0.01))
+        assert r.value == pytest.approx(2.0, abs=1e-8)
+        assert 0 < r.error < 0.05
+
+    def test_within_helper(self):
+        r = extrapolate(
+            np.array([0.2, 0.1, 0.05]),
+            2.0 + 3.0 * np.array([0.2, 0.1, 0.05]) ** 2,
+            errors=np.full(3, 0.01),
+        )
+        assert r.within(2.0)
+        assert not r.within(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least"):
+            extrapolate(np.array([0.1]), np.array([1.0]))
+        with pytest.raises(ValueError, match="positive"):
+            extrapolate(
+                np.array([0.2, 0.1]), np.array([1.0, 1.0]), errors=np.array([0.1, 0.0])
+            )
+
+    def test_richardson_exact_for_pure_quadratic(self):
+        f = lambda d: 5.0 - 2.0 * d**2
+        assert richardson(0.2, f(0.2), 0.1, f(0.1)) == pytest.approx(5.0)
+
+    def test_richardson_validation(self):
+        with pytest.raises(ValueError):
+            richardson(0.1, 1.0, 0.2, 1.0)
+
+
+class TestGeweke:
+    def test_equilibrated_small_z(self):
+        rng = np.random.default_rng(1)
+        zs = [geweke_z(rng.standard_normal(4000)) for _ in range(5)]
+        assert np.mean(np.abs(zs)) < 2.5
+
+    def test_drifting_large_z(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(4000) + np.linspace(3, 0, 4000)
+        assert abs(geweke_z(x)) > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geweke_z(np.ones(100), first=0.7, last=0.7)

@@ -1,0 +1,82 @@
+"""Golden regression test: a fixed seeded DQMC run must reproduce
+previously recorded values bit-for-bit (up to float associativity).
+
+Guards against silent behavioural drift anywhere in the pipeline —
+matrix assembly, sweep RNG consumption, FSI, measurements, statistics.
+If an *intentional* change alters these values, re-record them with::
+
+    python - <<'PY'
+    ... (see the docstring of record_golden below)
+    PY
+"""
+
+import numpy as np
+import pytest
+
+from repro.dqmc import DQMC, DQMCConfig
+from repro.hubbard import HubbardModel, RectangularLattice
+
+GOLDEN = {
+    "acceptance": 0.6785714285714286,
+    "density": 1.0139415047889107,
+    "double_occupancy": 0.15252081117013294,
+    "kinetic_energy": -1.5284636085631607,
+    "local_moment": 0.7088998824486447,
+    "szz0": 0.1772249706121612,
+    "spxx00": 0.3007511905387623,
+    "field_sum": 2,
+}
+
+
+def record_golden():
+    """Recompute the golden values (run manually after intended changes)."""
+    model = HubbardModel(RectangularLattice(3, 3), L=8, U=4.0, beta=2.0)
+    sim = DQMC(
+        model,
+        DQMCConfig(
+            warmup_sweeps=2,
+            measurement_sweeps=5,
+            c=4,
+            nwrap=4,
+            bin_size=1,
+            seed=20160523,
+            num_threads=1,
+        ),
+    )
+    res = sim.run()
+    return sim, res
+
+
+class TestGoldenRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return record_golden()
+
+    def test_acceptance(self, run):
+        sim, _ = run
+        assert sim.stats.acceptance_rate == pytest.approx(
+            GOLDEN["acceptance"], rel=1e-12
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["density", "double_occupancy", "kinetic_energy", "local_moment"]
+    )
+    def test_scalar_observables(self, run, name):
+        _, res = run
+        mean, _ = res.observable(name)
+        assert float(mean) == pytest.approx(GOLDEN[name], rel=1e-10)
+
+    def test_szz_first_class(self, run):
+        _, res = run
+        szz, _ = res.observable("szz")
+        assert float(szz[0]) == pytest.approx(GOLDEN["szz0"], rel=1e-10)
+
+    def test_spxx_corner(self, run):
+        _, res = run
+        assert float(res.spxx_mean[0, 0]) == pytest.approx(
+            GOLDEN["spxx00"], rel=1e-10
+        )
+
+    def test_final_field(self, run):
+        sim, _ = run
+        assert int(sim.field.h.sum()) == GOLDEN["field_sum"]

@@ -1,0 +1,165 @@
+"""The explicit Eq. (3) formulas versus dense linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.greens_explicit import (
+    chain_product,
+    cyclic_down_product,
+    equal_time_greens,
+    explicit_full_inverse,
+    explicit_selected_columns,
+    greens_block,
+    w_matrix,
+    z_matrix,
+)
+from repro.core.pcyclic import random_pcyclic
+
+
+class TestChainProduct:
+    def test_empty_chain_is_identity(self, small_pc):
+        np.testing.assert_array_equal(
+            chain_product(small_pc, 3, 3), np.eye(small_pc.N)
+        )
+
+    def test_single_step(self, small_pc):
+        np.testing.assert_allclose(
+            chain_product(small_pc, 4, 3), small_pc.block(4)
+        )
+
+    def test_descending_chain(self, small_pc):
+        # B_5 B_4 B_3
+        expected = small_pc.block(5) @ small_pc.block(4) @ small_pc.block(3)
+        np.testing.assert_allclose(chain_product(small_pc, 5, 2), expected)
+
+    def test_wrapping_chain(self, small_pc):
+        # k < l wraps through the seam: B_2 B_1 B_6 B_5
+        expected = (
+            small_pc.block(2)
+            @ small_pc.block(1)
+            @ small_pc.block(6)
+            @ small_pc.block(5)
+        )
+        np.testing.assert_allclose(chain_product(small_pc, 2, 4), expected)
+
+
+class TestCyclicProduct:
+    def test_full_cycle_from_L(self, small_pc):
+        expected = np.eye(small_pc.N)
+        for j in range(small_pc.L, 0, -1):
+            expected = expected @ small_pc.block(j)
+        np.testing.assert_allclose(
+            cyclic_down_product(small_pc, small_pc.L), expected
+        )
+
+    def test_cycles_are_similar(self, small_pc):
+        """All cyclic rotations share eigenvalues (similar matrices)."""
+        e1 = np.sort(np.linalg.eigvals(cyclic_down_product(small_pc, 1)))
+        e4 = np.sort(np.linalg.eigvals(cyclic_down_product(small_pc, 4)))
+        np.testing.assert_allclose(e1, e4, atol=1e-10)
+
+
+class TestWZFormulas:
+    def test_w_is_identity_plus_cycle(self, small_pc):
+        W = w_matrix(small_pc, 3)
+        np.testing.assert_allclose(
+            W, np.eye(small_pc.N) + cyclic_down_product(small_pc, 3)
+        )
+
+    def test_z_diagonal_is_identity(self, small_pc):
+        np.testing.assert_array_equal(
+            z_matrix(small_pc, 2, 2), np.eye(small_pc.N)
+        )
+
+    def test_z_below_diagonal_positive_chain(self, small_pc):
+        np.testing.assert_allclose(
+            z_matrix(small_pc, 5, 3), chain_product(small_pc, 5, 3)
+        )
+
+    def test_z_above_diagonal_negative(self, small_pc):
+        np.testing.assert_allclose(
+            z_matrix(small_pc, 2, 5), -chain_product(small_pc, 2, 5)
+        )
+
+    def test_z_last_column(self, small_pc):
+        # k < l = L: Z = -B_k ... B_1
+        expected = -(small_pc.block(2) @ small_pc.block(1))
+        np.testing.assert_allclose(z_matrix(small_pc, 2, 6), expected)
+
+
+class TestGreensBlock:
+    @pytest.mark.parametrize("k", [1, 2, 4, 6])
+    @pytest.mark.parametrize("l", [1, 3, 6])
+    def test_matches_dense_inverse(
+        self, small_pc, small_dense_inverse, block_of, k, l
+    ):
+        np.testing.assert_allclose(
+            greens_block(small_pc, k, l),
+            block_of(small_dense_inverse, k, l, small_pc.N),
+            atol=1e-10,
+        )
+
+    def test_equal_time_is_diagonal_block(
+        self, small_pc, small_dense_inverse, block_of
+    ):
+        for k in (1, 3, 6):
+            np.testing.assert_allclose(
+                equal_time_greens(small_pc, k),
+                block_of(small_dense_inverse, k, k, small_pc.N),
+                atol=1e-10,
+            )
+
+    def test_hubbard_matrix(self, hubbard_pc, block_of):
+        G = np.linalg.inv(hubbard_pc.to_dense())
+        np.testing.assert_allclose(
+            greens_block(hubbard_pc, 5, 2),
+            block_of(G, 5, 2, hubbard_pc.N),
+            atol=1e-10,
+        )
+
+
+class TestExplicitSelectedColumns:
+    def test_all_columns_match_dense(
+        self, small_pc, small_dense_inverse, block_of
+    ):
+        cols = [2, 5]
+        out = explicit_selected_columns(small_pc, cols)
+        assert len(out) == 2 * small_pc.L
+        for (k, l), blk in out.items():
+            assert l in cols
+            np.testing.assert_allclose(
+                blk, block_of(small_dense_inverse, k, l, small_pc.N), atol=1e-9
+            )
+
+    def test_column_L_wrap_sign(self, small_pc, small_dense_inverse, block_of):
+        out = explicit_selected_columns(small_pc, [small_pc.L])
+        for k in range(1, small_pc.L + 1):
+            np.testing.assert_allclose(
+                out[(k, small_pc.L)],
+                block_of(small_dense_inverse, k, small_pc.L, small_pc.N),
+                atol=1e-9,
+            )
+
+    def test_torus_column_index(self, small_pc):
+        out = explicit_selected_columns(small_pc, [0])  # wraps to L
+        assert (1, small_pc.L) in out
+
+
+class TestExplicitFullInverse:
+    def test_matches_dense(self, small_pc, small_dense_inverse):
+        G = explicit_full_inverse(small_pc)
+        L, N = small_pc.L, small_pc.N
+        stitched = np.block(
+            [[G[k, l] for l in range(L)] for k in range(L)]
+        )
+        np.testing.assert_allclose(stitched, small_dense_inverse, atol=1e-9)
+
+    def test_residual_against_matvec(self, small_pc, rng):
+        """M @ (G columns) == I columns, via matvec only."""
+        G = explicit_full_inverse(small_pc)
+        L, N = small_pc.L, small_pc.N
+        col = np.concatenate([G[k, 1] for k in range(L)], axis=0)
+        res = small_pc.matvec(col)
+        expected = np.zeros_like(res)
+        expected[N : 2 * N] = np.eye(N)
+        np.testing.assert_allclose(res, expected, atol=1e-10)

@@ -1,0 +1,115 @@
+"""Honeycomb lattice substrate + the full pipeline on it."""
+
+import numpy as np
+import pytest
+
+from repro.core import Pattern, fsi
+from repro.dqmc import DQMC, DQMCConfig
+from repro.hubbard import HSField, HubbardModel
+from repro.hubbard.honeycomb import HoneycombLattice
+
+
+class TestGeometry:
+    @pytest.fixture(scope="class")
+    def lat(self):
+        return HoneycombLattice(3, 3)
+
+    def test_site_count(self, lat):
+        assert lat.nsites == 18
+        assert lat.ncells == 9
+
+    def test_indexing_roundtrip(self, lat):
+        for i in range(lat.nsites):
+            cx, cy, s = lat.cell_of(i)
+            assert lat.site_index(cx, cy, s) == i
+
+    def test_coordination_three(self, lat):
+        assert all(len(lat.neighbors(i)) == 3 for i in range(lat.nsites))
+
+    def test_bipartite_bonds(self, lat):
+        """Every bond connects A to B (the honeycomb is bipartite)."""
+        K = lat.adjacency
+        for i in range(lat.nsites):
+            for j in np.nonzero(K[i])[0]:
+                assert lat.sublattice(i) != lat.sublattice(int(j))
+
+    def test_adjacency_symmetric(self, lat):
+        K = lat.adjacency
+        np.testing.assert_array_equal(K, K.T)
+        assert K.sum() == 3 * lat.nsites  # 3N/2 bonds, counted twice
+
+    def test_bond_length_unity(self, lat):
+        """Nearest-neighbor distance class has radius 1."""
+        D, radii = lat.distance_classes
+        K = lat.adjacency
+        nn_class = D[K > 0]
+        assert np.all(nn_class == nn_class[0])
+        assert radii[nn_class[0]] == pytest.approx(1.0)
+
+    def test_displacement_distance_symmetric(self, lat):
+        """|d(i,j)| == |d(j,i)| always; exact antisymmetry can break on
+        minimum-image *ties* in the non-orthogonal cell, so the class
+        map (which only sees distances) must still be symmetric."""
+        d = lat.displacement_table
+        r = np.sqrt(np.sum(d**2, axis=-1))
+        np.testing.assert_allclose(r, r.T, atol=1e-10)
+        D, _ = lat.distance_classes
+        np.testing.assert_array_equal(D, D.T)
+
+    def test_distance_classes_partition(self, lat):
+        total = sum(len(lat.pairs_in_class(d)) for d in range(lat.d_max))
+        assert total == lat.nsites**2
+
+    def test_dirac_spectrum_at_u0(self):
+        """U = 0 honeycomb bands: energies in [-3, 3], symmetric spectrum
+        (bipartite), with the K-point zero modes on commensurate cells."""
+        lat = HoneycombLattice(3, 3)  # 3x3 cells include the Dirac points
+        eps = np.linalg.eigvalsh(-lat.adjacency)
+        np.testing.assert_allclose(np.sort(eps), -np.sort(-eps)[::-1] * 1.0)
+        assert eps.min() == pytest.approx(-3.0)
+        assert np.sum(np.abs(eps) < 1e-9) >= 4  # Dirac zero modes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoneycombLattice(0, 2)
+        with pytest.raises(ValueError):
+            HoneycombLattice(2, 2).site_index(0, 0, 2)
+
+
+class TestPipelineOnHoneycomb:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return HubbardModel(HoneycombLattice(2, 2), L=8, t=1.0, U=4.0, beta=2.0)
+
+    def test_fsi_correctness(self, model):
+        field = HSField.random(8, model.N, np.random.default_rng(2))
+        pc = model.build_matrix(field, +1)
+        G = np.linalg.inv(pc.to_dense())
+        res = fsi(pc, 4, pattern=Pattern.COLUMNS, q=1, num_threads=1)
+        assert res.selected.max_relative_error(G) < 1e-11
+
+    def test_dqmc_physics(self, model):
+        """Bipartite half filling: density exactly 1; U suppresses docc."""
+        sim = DQMC(
+            model,
+            DQMCConfig(warmup_sweeps=2, measurement_sweeps=4, c=4,
+                       bin_size=2, seed=5, num_threads=1),
+        )
+        res = sim.run()
+        density, _ = res.observable("density")
+        assert float(density) == pytest.approx(1.0, abs=1e-9)
+        assert float(res.observable("double_occupancy")[0]) < 0.25
+        assert res.spxx_mean.shape == (8, model.lattice.d_max)
+
+    def test_afm_means_opposite_sublattices(self, model):
+        """Nearest-neighbor szz is negative (A/B anti-alignment)."""
+        sim = DQMC(
+            model,
+            DQMCConfig(warmup_sweeps=3, measurement_sweeps=6, c=4,
+                       bin_size=2, seed=8, num_threads=1),
+        )
+        res = sim.run()
+        szz, _ = res.observable("szz")
+        D, radii = model.lattice.distance_classes
+        nn_class = int(D[model.lattice.adjacency > 0][0])
+        assert szz[0] > 0 > szz[nn_class]

@@ -1,0 +1,191 @@
+"""Hubbard substrate: kinetic propagator, HS fields, matrix assembly."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.core.pcyclic import BlockPCyclic
+from repro.hubbard.hs_field import HSField
+from repro.hubbard.kinetic import KineticPropagator
+from repro.hubbard.lattice import RectangularLattice
+from repro.hubbard.matrix import HubbardModel, build_hubbard_matrix, hs_coupling
+
+
+class TestKineticPropagator:
+    @pytest.fixture
+    def kin(self):
+        return KineticPropagator(RectangularLattice(3, 3).adjacency, t=1.0, dtau=0.125)
+
+    def test_matches_scipy_expm(self, kin):
+        expected = sla.expm(1.0 * 0.125 * RectangularLattice(3, 3).adjacency)
+        np.testing.assert_allclose(kin.forward, expected, atol=1e-12)
+
+    def test_backward_is_exact_inverse(self, kin):
+        np.testing.assert_allclose(
+            kin.forward @ kin.backward, np.eye(kin.N), atol=1e-12
+        )
+
+    def test_forward_symmetric(self, kin):
+        np.testing.assert_allclose(kin.forward, kin.forward.T, atol=1e-13)
+
+    def test_forward_positive_definite(self, kin):
+        assert np.all(np.linalg.eigvalsh(kin.forward) > 0)
+
+    def test_rejects_asymmetric(self):
+        K = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            KineticPropagator(K, 1.0, 0.1)
+
+    def test_rejects_bad_dtau(self):
+        with pytest.raises(ValueError, match="dtau"):
+            KineticPropagator(np.zeros((2, 2)), 1.0, 0.0)
+
+    def test_cached(self, kin):
+        assert kin.forward is kin.forward
+
+
+class TestHSField:
+    def test_random_is_pm_one(self, rng):
+        f = HSField.random(6, 9, rng)
+        assert set(np.unique(f.h)) <= {-1, 1}
+        assert f.L == 6 and f.N == 9
+
+    def test_ordered(self):
+        f = HSField.ordered(3, 4, -1)
+        assert np.all(f.h == -1)
+
+    def test_ordered_invalid_value(self):
+        with pytest.raises(ValueError):
+            HSField.ordered(2, 2, 0)
+
+    def test_flip(self):
+        f = HSField.ordered(2, 2)
+        f.flip(1, 0)
+        assert f.h[1, 0] == -1 and f.h[0, 0] == 1
+
+    def test_rejects_non_spin_values(self):
+        with pytest.raises(ValueError, match="\\+1 or -1"):
+            HSField(np.zeros((2, 2)))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            HSField(np.ones(4))
+
+    def test_buffer_roundtrip(self, rng):
+        f = HSField.random(5, 7, rng)
+        g = HSField.from_buffer(f.to_buffer(), 5, 7)
+        assert f == g
+
+    def test_buffer_wrong_size(self):
+        with pytest.raises(ValueError, match="entries"):
+            HSField.from_buffer(np.ones(5, dtype=np.int8), 2, 3)
+
+    def test_copy_is_independent(self, rng):
+        f = HSField.random(3, 3, rng)
+        g = f.copy()
+        g.flip(0, 0)
+        assert f != g
+
+    def test_equality(self, rng):
+        f = HSField.random(3, 3, np.random.default_rng(1))
+        g = HSField.random(3, 3, np.random.default_rng(1))
+        assert f == g
+        assert f != "not a field"  # NotImplemented path -> False
+
+
+class TestHSCoupling:
+    def test_defining_identity(self):
+        """cosh(nu) = exp(dtau U / 2)."""
+        nu = hs_coupling(4.0, 0.125)
+        assert np.cosh(nu) == pytest.approx(np.exp(0.125 * 4.0 / 2))
+
+    def test_zero_U(self):
+        assert hs_coupling(0.0, 0.1) == 0.0
+
+    def test_attractive_uses_magnitude(self):
+        assert hs_coupling(-4.0, 0.125) == hs_coupling(4.0, 0.125)
+
+
+class TestHubbardModel:
+    def test_properties(self, hubbard_model):
+        assert hubbard_model.N == 9
+        assert hubbard_model.dtau == pytest.approx(0.25)
+        assert hubbard_model.nu > 0
+
+    def test_validation(self):
+        lat = RectangularLattice(2, 2)
+        with pytest.raises(ValueError):
+            HubbardModel(lat, L=0)
+        with pytest.raises(ValueError):
+            HubbardModel(lat, L=4, beta=-1.0)
+
+    def test_slice_matrix_structure(self, hubbard_model):
+        """B_l = e^{t dtau K} e^{sigma nu V_l}: column scaling."""
+        h = np.ones(9, dtype=np.int8)
+        B = hubbard_model.slice_matrix(h, +1)
+        expected = hubbard_model.kinetic.forward * np.exp(hubbard_model.nu)
+        np.testing.assert_allclose(B, expected, atol=1e-12)
+
+    def test_slice_matrix_inverse_exact(self, hubbard_model, rng):
+        h = np.sign(rng.standard_normal(9)).astype(np.int8)
+        B = hubbard_model.slice_matrix(h, +1)
+        Binv = hubbard_model.slice_matrix_inv(h, +1)
+        np.testing.assert_allclose(B @ Binv, np.eye(9), atol=1e-11)
+
+    def test_sigma_validation(self, hubbard_model):
+        with pytest.raises(ValueError, match="sigma"):
+            hubbard_model.slice_matrix(np.ones(9), 0)
+        with pytest.raises(ValueError, match="sigma"):
+            hubbard_model.slice_matrix_inv(np.ones(9), 2)
+
+    def test_slice_shape_validation(self, hubbard_model):
+        with pytest.raises(ValueError, match="h_slice"):
+            hubbard_model.slice_matrix(np.ones(4), +1)
+
+    def test_build_matrix(self, hubbard_model, hubbard_field):
+        pc = hubbard_model.build_matrix(hubbard_field, +1)
+        assert isinstance(pc, BlockPCyclic)
+        assert pc.L == 8 and pc.N == 9
+        np.testing.assert_allclose(
+            pc.block(3),
+            hubbard_model.slice_matrix(hubbard_field.slice(2), +1),
+        )
+
+    def test_build_matrix_field_mismatch(self, hubbard_model, rng):
+        bad = HSField.random(4, 9, rng)
+        with pytest.raises(ValueError, match="does not match"):
+            hubbard_model.build_matrix(bad)
+
+    def test_spin_symmetry_under_field_flip(self, hubbard_model, hubbard_field):
+        """B^down(h) == B^up(-h): the particle-hole-like HS symmetry."""
+        flipped = HSField(-hubbard_field.h)
+        down = hubbard_model.build_matrix(hubbard_field, -1)
+        up_flipped = hubbard_model.build_matrix(flipped, +1)
+        np.testing.assert_allclose(down.B, up_flipped.B, atol=1e-13)
+
+    def test_mu_enters_as_scalar_factor(self, hubbard_field):
+        lat = RectangularLattice(3, 3)
+        m0 = HubbardModel(lat, L=8, U=4.0, beta=2.0, mu=0.0)
+        m1 = HubbardModel(lat, L=8, U=4.0, beta=2.0, mu=0.3)
+        B0 = m0.build_matrix(hubbard_field).block(1)
+        B1 = m1.build_matrix(hubbard_field).block(1)
+        np.testing.assert_allclose(B1, B0 * np.exp(0.25 * 0.3), atol=1e-12)
+
+
+class TestConvenienceBuilder:
+    def test_returns_consistent_triple(self):
+        M, model, field = build_hubbard_matrix(3, 3, L=6, U=2.0, beta=1.0, rng=4)
+        assert M.L == 6 and M.N == 9
+        np.testing.assert_allclose(
+            M.B, model.build_matrix(field, +1).B
+        )
+
+    def test_reuse_field_for_other_spin(self):
+        M_up, model, field = build_hubbard_matrix(2, 2, L=4, rng=0)
+        M_dn = model.build_matrix(field, -1)
+        assert not np.allclose(M_up.B, M_dn.B)
+
+    def test_deterministic_with_seed(self):
+        a, _, _ = build_hubbard_matrix(2, 2, L=4, rng=9)
+        b, _, _ = build_hubbard_matrix(2, 2, L=4, rng=9)
+        np.testing.assert_array_equal(a.B, b.B)

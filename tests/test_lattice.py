@@ -1,0 +1,140 @@
+"""Rectangular lattice: geometry, adjacency, distance classes."""
+
+import numpy as np
+import pytest
+
+from repro.hubbard.lattice import RectangularLattice
+
+
+class TestIndexing:
+    def test_site_index_roundtrip(self):
+        lat = RectangularLattice(4, 3)
+        for i in range(lat.nsites):
+            x, y = lat.coordinates(i)
+            assert lat.site_index(x, y) == i
+
+    def test_periodic_site_index(self):
+        lat = RectangularLattice(4, 3)
+        assert lat.site_index(4, 0) == lat.site_index(0, 0)
+        assert lat.site_index(-1, 0) == lat.site_index(3, 0)
+        assert lat.site_index(0, 3) == lat.site_index(0, 0)
+
+    def test_coordinates_out_of_range(self):
+        with pytest.raises(IndexError):
+            RectangularLattice(2, 2).coordinates(4)
+
+    def test_coords_table(self):
+        lat = RectangularLattice(3, 2)
+        assert lat.coords.shape == (6, 2)
+        np.testing.assert_array_equal(lat.coords[4], [1, 1])
+
+    def test_invalid_extents(self):
+        with pytest.raises(ValueError):
+            RectangularLattice(0, 3)
+
+
+class TestNeighbors:
+    def test_bulk_site_has_four(self):
+        lat = RectangularLattice(4, 4)
+        assert len(lat.neighbors(5)) == 4
+
+    def test_neighbors_are_mutual(self):
+        lat = RectangularLattice(4, 3)
+        for i in range(lat.nsites):
+            for j in lat.neighbors(i):
+                assert i in lat.neighbors(j)
+
+    def test_degenerate_extent_two(self):
+        """nx=2: left and right neighbor coincide; deduplicated."""
+        lat = RectangularLattice(2, 4)
+        for i in range(lat.nsites):
+            assert len(lat.neighbors(i)) == 3  # 1 horizontal + 2 vertical
+
+    def test_chain_lattice(self):
+        lat = RectangularLattice(5, 1)
+        for i in range(5):
+            assert len(lat.neighbors(i)) == 2
+
+    def test_single_site(self):
+        assert RectangularLattice(1, 1).neighbors(0) == []
+
+
+class TestAdjacency:
+    def test_symmetric_zero_diagonal(self):
+        K = RectangularLattice(4, 4).adjacency
+        np.testing.assert_array_equal(K, K.T)
+        np.testing.assert_array_equal(np.diag(K), 0.0)
+
+    def test_row_sums_bulk(self):
+        K = RectangularLattice(4, 4).adjacency
+        np.testing.assert_array_equal(K.sum(axis=1), 4.0)
+
+    def test_binary_entries(self):
+        K = RectangularLattice(3, 5).adjacency
+        assert set(np.unique(K)) <= {0.0, 1.0}
+
+    def test_4x4_edge_count(self):
+        # 2D periodic square lattice: 2N edges.
+        K = RectangularLattice(4, 4).adjacency
+        assert K.sum() == 2 * 2 * 16
+
+
+class TestDisplacement:
+    def test_minimum_image_bounds(self):
+        lat = RectangularLattice(5, 4)
+        d = lat.displacement_table
+        assert d[..., 0].min() >= -2 and d[..., 0].max() <= 2
+        assert d[..., 1].min() >= -2 and d[..., 1].max() <= 2
+
+    def test_self_displacement_zero(self):
+        lat = RectangularLattice(3, 3)
+        d = lat.displacement_table
+        for i in range(9):
+            np.testing.assert_array_equal(d[i, i], [0, 0])
+
+    def test_antisymmetric_odd_extent(self):
+        lat = RectangularLattice(5, 5)
+        d = lat.displacement_table
+        np.testing.assert_array_equal(d, -d.transpose(1, 0, 2))
+
+
+class TestDistanceClasses:
+    def test_class_zero_is_onsite(self):
+        lat = RectangularLattice(4, 4)
+        D, radii = lat.distance_classes
+        assert radii[0] == 0.0
+        np.testing.assert_array_equal(np.diag(D), 0)
+
+    def test_radii_sorted_unique(self):
+        _, radii = RectangularLattice(4, 4).distance_classes
+        assert np.all(np.diff(radii) > 0)
+
+    def test_symmetric(self):
+        D, _ = RectangularLattice(4, 3).distance_classes
+        np.testing.assert_array_equal(D, D.T)
+
+    def test_d_max_order_N(self):
+        lat = RectangularLattice(6, 6)
+        assert 1 < lat.d_max <= lat.nsites
+
+    def test_pairs_in_class_partition(self):
+        lat = RectangularLattice(3, 3)
+        total = sum(len(lat.pairs_in_class(d)) for d in range(lat.d_max))
+        assert total == lat.nsites**2
+
+    def test_pairs_in_class_consistent(self):
+        lat = RectangularLattice(4, 4)
+        D, _ = lat.distance_classes
+        pairs = lat.pairs_in_class(1)
+        assert all(D[i, j] == 1 for i, j in pairs)
+
+    def test_pairs_out_of_range(self):
+        with pytest.raises(IndexError):
+            RectangularLattice(2, 2).pairs_in_class(99)
+
+    def test_nearest_neighbor_class_matches_adjacency(self):
+        lat = RectangularLattice(4, 4)
+        D, radii = lat.distance_classes
+        assert radii[1] == 1.0
+        nn_mask = (D == 1).astype(float)
+        np.testing.assert_array_equal(nn_mask, lat.adjacency)

@@ -1,0 +1,82 @@
+"""The Edison machine model and the FSI memory footprint."""
+
+import pytest
+
+from repro.core.patterns import Pattern
+from repro.perf.machine import EDISON, MachineSpec, fsi_rank_memory_bytes
+
+
+class TestEdisonSpec:
+    def test_core_counts(self):
+        assert EDISON.cores_per_node == 24
+        assert EDISON.nodes == 5576
+        assert EDISON.nodes * EDISON.cores_per_node == 133824  # Sec. III-A
+
+    def test_peak_rates(self):
+        """2.4 GHz x 8 DP flops/cycle = 19.2 Gflop/s per core."""
+        assert EDISON.peak_core_gflops == pytest.approx(19.2)
+        assert EDISON.peak_socket_gflops == pytest.approx(230.4)
+
+    def test_usable_memory(self):
+        """~2.5 GB usable per core (Sec. V-B) -> 60 GB per node."""
+        assert EDISON.mem_avail_per_node_gb == pytest.approx(60.0)
+        per_core = EDISON.mem_avail_per_node_gb / EDISON.cores_per_node
+        assert per_core == pytest.approx(2.5)
+
+
+class TestMemoryFootprint:
+    def test_paper_quoted_selection_size(self):
+        """Sec. V-B: at (N, L, c) = (576, 100, 10) the selected inversion
+        alone is ~2.65 GB (b L N^2 doubles)."""
+        b, L, N = 10, 100, 576
+        selection_only = b * L * N * N * 8
+        assert selection_only / 2**30 == pytest.approx(2.47, abs=0.3)
+        total = fsi_rank_memory_bytes(N, L, 10, Pattern.COLUMNS)
+        assert total > selection_only  # matrix + seeds + workspace on top
+
+    def test_oom_boundary_matches_paper(self):
+        """12 ranks/socket at N=576 exceeds socket memory; N=400 fits."""
+        m576 = fsi_rank_memory_bytes(576, 100, 10, Pattern.COLUMNS)
+        m400 = fsi_rank_memory_bytes(400, 100, 10, Pattern.COLUMNS)
+        assert not EDISON.fits_on_socket(12, m576)
+        assert EDISON.fits_on_socket(12, m400)
+
+    def test_larger_n_needs_fewer_ranks(self):
+        m1024 = fsi_rank_memory_bytes(1024, 100, 10, Pattern.COLUMNS)
+        assert not EDISON.fits_on_socket(4, m1024)
+        assert EDISON.fits_on_socket(2, m1024)
+
+    def test_pattern_dependence(self):
+        cols = fsi_rank_memory_bytes(256, 100, 10, Pattern.COLUMNS)
+        diag = fsi_rank_memory_bytes(256, 100, 10, Pattern.DIAGONAL)
+        assert diag < cols
+
+    def test_validates_c(self):
+        with pytest.raises(ValueError):
+            fsi_rank_memory_bytes(100, 100, 7)
+
+    def test_workspace_toggle(self):
+        with_ws = fsi_rank_memory_bytes(128, 40, 8, include_workspace=True)
+        without = fsi_rank_memory_bytes(128, 40, 8, include_workspace=False)
+        assert with_ws > without
+
+
+class TestCustomMachine:
+    def test_derived_quantities(self):
+        m = MachineSpec(
+            name="toy",
+            sockets_per_node=1,
+            cores_per_socket=4,
+            ghz=2.0,
+            flops_per_cycle=4.0,
+            mem_per_node_gb=16.0,
+            mem_reserved_per_node_gb=2.0,
+            stream_bw_per_socket_gbs=20.0,
+            mpi_latency_us=1.0,
+            mpi_bw_gbs=5.0,
+            nodes=2,
+        )
+        assert m.peak_core_gflops == 8.0
+        assert m.mem_avail_per_socket_gb == 14.0
+        assert m.fits_on_socket(2, 6 * 2**30)
+        assert not m.fits_on_socket(3, 6 * 2**30)

@@ -1,0 +1,145 @@
+"""Equal-time measurements: Wick identities and known limits."""
+
+import numpy as np
+import pytest
+
+from repro.core.greens_explicit import equal_time_greens
+from repro.dqmc.measurements import (
+    EqualTimeAccumulator,
+    measure_slice,
+)
+from repro.hubbard import HSField, HubbardModel, RectangularLattice
+
+
+@pytest.fixture
+def measured(hubbard_model, hubbard_field):
+    G_up = equal_time_greens(hubbard_model.build_matrix(hubbard_field, +1), 1)
+    G_dn = equal_time_greens(hubbard_model.build_matrix(hubbard_field, -1), 1)
+    return measure_slice(G_up, G_dn, hubbard_model), G_up, G_dn
+
+
+class TestMeasureSlice:
+    def test_density_from_diagonals(self, measured, hubbard_model):
+        m, G_up, G_dn = measured
+        expected = np.mean((1 - np.diag(G_up)) + (1 - np.diag(G_dn)))
+        assert m.density == pytest.approx(expected)
+
+    def test_half_filling_density_one_bipartite(self):
+        """On a *bipartite* lattice at mu = 0, particle-hole symmetry
+        pins the density to exactly 1 per HS configuration
+        (n_up(i) + n_dn(i) = 1 site by site)."""
+        model = HubbardModel(RectangularLattice(4, 4), L=8, U=4.0, beta=2.0)
+        field = HSField.random(8, 16, np.random.default_rng(0))
+        G_up = equal_time_greens(model.build_matrix(field, +1), 1)
+        G_dn = equal_time_greens(model.build_matrix(field, -1), 1)
+        m = measure_slice(G_up, G_dn, model)
+        assert m.density == pytest.approx(1.0, abs=1e-10)
+        # Site-resolved version of the same symmetry.
+        n_site = (1 - np.diag(G_up)) + (1 - np.diag(G_dn))
+        np.testing.assert_allclose(n_site, 1.0, atol=1e-10)
+
+    def test_non_bipartite_density_near_one(self, hubbard_model, hubbard_field):
+        """A 3x3 periodic lattice is NOT bipartite: per-configuration
+        density deviates from 1 (only the MC average restores it)."""
+        G_up = equal_time_greens(hubbard_model.build_matrix(hubbard_field, +1), 1)
+        G_dn = equal_time_greens(hubbard_model.build_matrix(hubbard_field, -1), 1)
+        m = measure_slice(G_up, G_dn, hubbard_model)
+        assert m.density == pytest.approx(1.0, abs=0.2)
+        assert abs(m.density - 1.0) > 1e-12
+
+    def test_local_moment_identity(self, measured):
+        """<m_z^2> = <n> - 2 <n_up n_dn> by definition."""
+        m, _, _ = measured
+        assert m.local_moment == pytest.approx(
+            m.density - 2 * m.double_occupancy
+        )
+
+    def test_double_occupancy_bounds(self, measured):
+        m, _, _ = measured
+        assert 0.0 <= m.double_occupancy <= 1.0
+
+    def test_kinetic_energy_negative(self, measured):
+        """Hopping lowers the energy for the half-filled ground sector."""
+        m, _, _ = measured
+        assert m.kinetic_energy < 0
+
+    def test_szz_onsite_is_quarter_moment(self, measured):
+        """S^z_i S^z_i = m_z^2 / 4 exactly (distance class 0)."""
+        m, _, _ = measured
+        assert m.szz[0] == pytest.approx(m.local_moment / 4.0)
+
+    def test_szz_shape(self, measured, hubbard_model):
+        m, _, _ = measured
+        assert m.szz.shape == (hubbard_model.lattice.d_max,)
+
+    def test_free_fermion_limit(self):
+        """U=0: G is the free Green's function; double occupancy equals
+        n_up * n_dn exactly and szz has no interaction enhancement."""
+        model = HubbardModel(RectangularLattice(3, 3), L=8, U=0.0, beta=2.0)
+        field = HSField.ordered(8, 9)
+        G = equal_time_greens(model.build_matrix(field, +1), 1)
+        m = measure_slice(G, G, model)
+        n_half = m.density / 2
+        assert m.double_occupancy == pytest.approx(n_half**2, rel=1e-10)
+
+    def test_as_dict(self, measured):
+        d = measured[0].as_dict()
+        assert set(d) == {
+            "density",
+            "double_occupancy",
+            "kinetic_energy",
+            "local_moment",
+            "szz",
+        }
+
+
+class TestAccumulator:
+    def test_mean_over_slices(self, hubbard_model, hubbard_field):
+        pc_up = hubbard_model.build_matrix(hubbard_field, +1)
+        pc_dn = hubbard_model.build_matrix(hubbard_field, -1)
+        acc = EqualTimeAccumulator()
+        singles = []
+        for l in (1, 2, 3):
+            m = measure_slice(
+                equal_time_greens(pc_up, l),
+                equal_time_greens(pc_dn, l),
+                hubbard_model,
+            )
+            singles.append(m.density)
+            acc.add(m)
+        out = acc.mean()
+        assert out["density"] == pytest.approx(np.mean(singles))
+        assert acc.count == 3
+
+    def test_merge_matches_sequential(self, hubbard_model, hubbard_field):
+        pc_up = hubbard_model.build_matrix(hubbard_field, +1)
+        pc_dn = hubbard_model.build_matrix(hubbard_field, -1)
+        ms = [
+            measure_slice(
+                equal_time_greens(pc_up, l),
+                equal_time_greens(pc_dn, l),
+                hubbard_model,
+            )
+            for l in (1, 2, 3, 4)
+        ]
+        seq = EqualTimeAccumulator()
+        for m in ms:
+            seq.add(m)
+        a, b = EqualTimeAccumulator(), EqualTimeAccumulator()
+        a.add(ms[0]); a.add(ms[1])
+        b.add(ms[2]); b.add(ms[3])
+        a.merge(b)
+        np.testing.assert_allclose(a.mean()["szz"], seq.mean()["szz"])
+        assert a.mean()["kinetic_energy"] == pytest.approx(
+            seq.mean()["kinetic_energy"]
+        )
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError, match="no measurements"):
+            EqualTimeAccumulator().mean()
+
+    def test_merge_into_empty(self, measured):
+        a, b = EqualTimeAccumulator(), EqualTimeAccumulator()
+        b.add(measured[0])
+        a.merge(b)
+        assert a.count == 1

@@ -1,0 +1,209 @@
+"""The analytic performance model: mechanisms and paper anchors.
+
+These tests pin the *shape claims* of every figure: who wins, by what
+factor, and where the feasibility boundary falls.  The paper's exact
+numbers are recorded in EXPERIMENTS.md; here we assert the bands.
+"""
+
+import pytest
+
+from repro.core.patterns import Pattern
+from repro.perf.model import (
+    DQMCBreakdown,
+    dqmc_runtime,
+    fsi_profile,
+    gemm_efficiency,
+    greens_time,
+    hybrid_performance,
+    measurement_time,
+    scaling_curve,
+    thread_speedup,
+)
+
+
+class TestRatePrimitives:
+    def test_gemm_efficiency_monotone_saturating(self):
+        effs = [gemm_efficiency(N) for N in (64, 256, 1024, 4096)]
+        assert all(b > a for a, b in zip(effs, effs[1:]))
+        assert effs[-1] < 0.95
+
+    def test_thread_speedup_modes(self):
+        assert thread_speedup(1, "openmp") == 1.0
+        assert thread_speedup(12, "openmp") > 10.5  # near-ideal
+        assert thread_speedup(12, "mkl") < 7.0  # Amdahl-limited
+        assert thread_speedup(12, "serial") == 1.0
+
+    def test_thread_speedup_validation(self):
+        with pytest.raises(ValueError):
+            thread_speedup(0, "openmp")
+        with pytest.raises(ValueError, match="mode"):
+            thread_speedup(4, "cuda")
+
+
+class TestFig8Top:
+    """FSI reaches ~180 Gflop/s on 12 Ivy Bridge cores; the MKL-threaded
+    baseline sits near 100 (abstract: '80% improvement to 180 Gflops')."""
+
+    def test_fsi_rate_anchor(self):
+        rate = fsi_profile(1024, 100, 10, 12, "openmp")["total"].gflops
+        assert 160 < rate < 200
+
+    def test_mkl_rate_anchor(self):
+        rate = fsi_profile(1024, 100, 10, 12, "mkl")["total"].gflops
+        assert 85 < rate < 115
+
+    def test_fsi_beats_mkl_by_about_80_percent(self):
+        f = fsi_profile(576, 100, 10, 12, "openmp")["total"].gflops
+        m = fsi_profile(576, 100, 10, 12, "mkl")["total"].gflops
+        assert 1.5 < f / m < 2.2
+
+    def test_bsofi_is_the_slow_stage(self):
+        """Fig. 8 top: BSOFI's rate is below CLS and WRP ('the lower
+        performance rate of the dense matrix inversions is compensated
+        by DGEMM-rich operations')."""
+        prof = fsi_profile(576, 100, 10, 12, "openmp")
+        assert prof["bsofi"].gflops < prof["cls"].gflops
+        assert prof["bsofi"].gflops < prof["wrp"].gflops
+
+    def test_rate_grows_with_block_size(self):
+        rates = [
+            fsi_profile(N, 100, 10, 12, "openmp")["total"].gflops
+            for N in (256, 576, 1024)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+
+class TestFig8Bottom:
+    def test_curve_structure(self):
+        sc = scaling_curve(576, 100, 10)
+        assert set(sc) == {"threads", "ideal", "openmp", "mkl"}
+        assert len(sc["openmp"]) == 12
+
+    def test_openmp_close_to_ideal(self):
+        sc = scaling_curve(576, 100, 10)
+        assert sc["openmp"][-1] > 0.85 * sc["ideal"][-1]
+
+    def test_mkl_flattens(self):
+        sc = scaling_curve(576, 100, 10)
+        assert sc["mkl"][-1] < 0.6 * sc["ideal"][-1]
+
+    def test_negligible_overhead_at_few_threads(self):
+        """Paper: 'OpenMP overhead is negligible when the number of
+        threads per process is small'."""
+        sc = scaling_curve(576, 100, 10)
+        assert sc["openmp"][1] > 0.97 * sc["ideal"][1]
+
+
+class TestFig9:
+    def test_pure_mpi_fastest_when_feasible(self):
+        pts = [
+            hybrid_performance(400, 100, 10, r, t, 2400)
+            for r, t in ((200, 12), (2400, 1))
+        ]
+        assert all(p.feasible for p in pts)
+        assert pts[1].tflops > pts[0].tflops
+
+    def test_oom_pattern_matches_paper(self):
+        """N=400 runs everywhere; N=576 OOMs only at pure MPI; larger N
+        lose more configurations."""
+        feasible = {}
+        for N in (400, 576, 784, 1024):
+            feasible[N] = [
+                hybrid_performance(N, 100, 10, r, t, 2400).feasible
+                for r, t in ((200, 12), (400, 6), (800, 3), (1200, 2), (2400, 1))
+            ]
+        assert all(feasible[400])
+        assert feasible[576] == [True, True, True, True, False]
+        assert feasible[1024][0] and not feasible[1024][-1]
+        # Monotone: once infeasible, stays infeasible with more ranks.
+        for N, flags in feasible.items():
+            seen_false = False
+            for f in flags:
+                seen_false = seen_false or not f
+                if seen_false:
+                    assert not f or flags.index(f) < flags.index(False)
+
+    def test_aggregate_rate_in_paper_band(self):
+        """'reach to 20-30 Tflops on 100 compute nodes'."""
+        pts = [
+            hybrid_performance(N, 100, 10, r, t, 2400)
+            for N in (400, 576, 784, 1024)
+            for r, t in ((200, 12), (400, 6), (800, 3), (1200, 2), (2400, 1))
+        ]
+        rates = [p.tflops for p in pts if p.feasible]
+        assert min(rates) > 18
+        assert max(rates) < 36
+
+    def test_oom_point_reports_memory(self):
+        pt = hybrid_performance(1024, 100, 10, 2400, 1, 2400)
+        assert not pt.feasible
+        assert pt.tflops is None
+        assert pt.mem_per_rank_gb > 8
+
+    def test_comm_negligible(self):
+        pt = hybrid_performance(400, 100, 10, 2400, 1, 2400)
+        assert pt.comm_seconds < 0.05 * pt.compute_seconds
+
+
+class TestFig10:
+    def test_serial_profile(self):
+        g = greens_time(400, 100, 10, 1, "serial")
+        m = measurement_time(400, 100, 10, 1, "serial")
+        assert 30 < g < 90
+        assert 5 < m < 25
+
+    def test_mkl_helps_greens_hurts_measurement(self):
+        g_s = greens_time(400, 100, 10, 1, "serial")
+        m_s = measurement_time(400, 100, 10, 1, "serial")
+        g_m = greens_time(400, 100, 10, 12, "mkl")
+        m_m = measurement_time(400, 100, 10, 12, "mkl")
+        assert g_m < 0.3 * g_s  # library threading cuts BLAS-3 time
+        assert m_m > m_s  # sequential measurements slow down
+
+    def test_openmp_87_percent_reduction(self):
+        """Paper: 'FSI with OpenMP uses 87% less CPU time for the
+        computation of Green's functions and physical measurements'."""
+        serial = greens_time(400, 100, 10, 1, "serial") + measurement_time(
+            400, 100, 10, 1, "serial"
+        )
+        omp = greens_time(400, 100, 10, 12, "openmp") + measurement_time(
+            400, 100, 10, 12, "openmp"
+        )
+        reduction = 1 - omp / serial
+        assert 0.80 < reduction < 0.92
+
+
+class TestFig11:
+    def test_serial_total_hours(self):
+        """'a modest size DQMC simulation ... takes three and a half
+        hours' — model lands in the 3-5.5 h band."""
+        r = dqmc_runtime(400, 100, 10, 100, 200, 1, "serial")
+        assert 3.0 < r.total_seconds / 3600 < 5.5
+
+    def test_eighty_percent_in_greens_and_measurements(self):
+        r = dqmc_runtime(400, 100, 10, 100, 200, 1, "serial")
+        assert 0.7 < r.greens_and_meas_fraction < 0.92
+
+    def test_openmp_speedup_band(self):
+        """Paper: 6.9x kernel speedup, 3.5 h -> 40 min overall (5.25x)."""
+        base = dqmc_runtime(400, 100, 10, 100, 200, 1, "serial")
+        omp = dqmc_runtime(400, 100, 10, 100, 200, 12, "openmp")
+        speedup = base.total_seconds / omp.total_seconds
+        assert 5.0 < speedup < 9.5
+        assert omp.total_seconds / 60 < 50  # 'forty minutes' ballpark
+
+    def test_mkl_speedup_modest(self):
+        """MKL helps far less than OpenMP (paper: 1.3x vs 6.9x)."""
+        base = dqmc_runtime(400, 100, 10, 100, 200, 1, "serial")
+        mkl = dqmc_runtime(400, 100, 10, 100, 200, 12, "mkl")
+        omp = dqmc_runtime(400, 100, 10, 100, 200, 12, "openmp")
+        mkl_speedup = base.total_seconds / mkl.total_seconds
+        assert mkl_speedup < 3.5
+        assert omp.total_seconds < 0.5 * mkl.total_seconds
+
+    def test_breakdown_type(self):
+        r = dqmc_runtime(64, 16, 4, 2, 3, 2, "openmp")
+        assert isinstance(r, DQMCBreakdown)
+        assert r.total_seconds == pytest.approx(
+            r.sweep_seconds + r.greens_seconds + r.measurement_seconds
+        )

@@ -1,0 +1,195 @@
+"""Unit tests for the block p-cyclic matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.core.pcyclic import (
+    BlockPCyclic,
+    pcyclic_from_general,
+    random_pcyclic,
+    torus_index,
+)
+
+
+class TestTorusIndex:
+    def test_identity_in_range(self):
+        for k in range(1, 9):
+            assert torus_index(k, 8) == k
+
+    def test_zero_wraps_to_L(self):
+        assert torus_index(0, 8) == 8
+
+    def test_L_plus_one_wraps_to_one(self):
+        assert torus_index(9, 8) == 1
+
+    def test_negative_indices(self):
+        assert torus_index(-1, 8) == 7
+        assert torus_index(-8, 8) == 8
+
+    def test_far_out_of_range(self):
+        assert torus_index(8 + 3 * 8, 8) == 8
+        assert torus_index(25, 8) == 1
+
+    def test_L_one(self):
+        assert torus_index(0, 1) == 1
+        assert torus_index(5, 1) == 1
+
+    def test_invalid_L(self):
+        with pytest.raises(ValueError, match="positive"):
+            torus_index(1, 0)
+
+
+class TestConstruction:
+    def test_shape_properties(self, small_pc):
+        assert small_pc.L == 6
+        assert small_pc.N == 4
+        assert small_pc.shape == (24, 24)
+
+    def test_rejects_non_square_blocks(self):
+        with pytest.raises(ValueError, match=r"\(L, N, N\)"):
+            BlockPCyclic(np.zeros((3, 4, 5)))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match=r"\(L, N, N\)"):
+            BlockPCyclic(np.zeros((4, 4)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one block"):
+            BlockPCyclic(np.zeros((0, 3, 3)))
+
+    def test_integer_input_promoted_to_float(self):
+        pc = BlockPCyclic(np.ones((2, 3, 3), dtype=np.int64))
+        assert np.issubdtype(pc.dtype, np.floating)
+
+    def test_storage_contiguous(self, small_pc):
+        assert small_pc.B.flags["C_CONTIGUOUS"]
+
+
+class TestBlockAccess:
+    def test_block_one_based(self, small_pc):
+        np.testing.assert_array_equal(small_pc.block(1), small_pc.B[0])
+        np.testing.assert_array_equal(small_pc.block(6), small_pc.B[5])
+
+    def test_block_torus_wrap(self, small_pc):
+        np.testing.assert_array_equal(small_pc.block(0), small_pc.B[5])
+        np.testing.assert_array_equal(small_pc.block(7), small_pc.B[0])
+
+    def test_blocks_list(self, small_pc):
+        blocks = small_pc.blocks([1, 3, 0])
+        np.testing.assert_array_equal(blocks[2], small_pc.B[5])
+
+    def test_block_is_view(self, small_pc):
+        assert small_pc.block(2).base is small_pc.B
+
+
+class TestToDense:
+    def test_diagonal_is_identity(self, small_pc):
+        M = small_pc.to_dense()
+        N = small_pc.N
+        for i in range(small_pc.L):
+            np.testing.assert_array_equal(
+                M[i * N : (i + 1) * N, i * N : (i + 1) * N], np.eye(N)
+            )
+
+    def test_subdiagonal_blocks(self, small_pc):
+        M = small_pc.to_dense()
+        N = small_pc.N
+        for i in range(2, small_pc.L + 1):
+            got = M[(i - 1) * N : i * N, (i - 2) * N : (i - 1) * N]
+            np.testing.assert_array_equal(got, -small_pc.block(i))
+
+    def test_corner_block(self, small_pc):
+        M = small_pc.to_dense()
+        N = small_pc.N
+        got = M[:N, (small_pc.L - 1) * N :]
+        np.testing.assert_array_equal(got, small_pc.block(1))
+
+    def test_everything_else_zero(self):
+        pc = random_pcyclic(4, 2, np.random.default_rng(0))
+        M = pc.to_dense()
+        N = 2
+        for i in range(4):
+            for j in range(4):
+                if i == j or i == j + 1 or (i, j) == (0, 3):
+                    continue
+                blk = M[i * N : (i + 1) * N, j * N : (j + 1) * N]
+                np.testing.assert_array_equal(blk, 0.0)
+
+    def test_single_block_degenerate(self):
+        B = np.array([[[0.5, 0.1], [0.0, 0.5]]])
+        pc = BlockPCyclic(B)
+        np.testing.assert_allclose(pc.to_dense(), np.eye(2) + B[0])
+
+
+class TestMatvec:
+    def test_matches_dense(self, small_pc, rng):
+        x = rng.standard_normal(small_pc.shape[0])
+        np.testing.assert_allclose(
+            small_pc.matvec(x), small_pc.to_dense() @ x, atol=1e-12
+        )
+
+    def test_block_of_vectors(self, small_pc, rng):
+        X = rng.standard_normal((small_pc.shape[0], 3))
+        np.testing.assert_allclose(
+            small_pc.matvec(X), small_pc.to_dense() @ X, atol=1e-12
+        )
+
+    def test_single_block(self, rng):
+        pc = random_pcyclic(1, 5, rng)
+        x = rng.standard_normal(5)
+        np.testing.assert_allclose(pc.matvec(x), pc.to_dense() @ x, atol=1e-12)
+
+
+class TestFromGeneral:
+    def test_normalization_identity(self, rng):
+        """A^{-1} = M^{-1} D^{-1} blockwise for a random general matrix."""
+        L, N = 4, 3
+        diag = [np.eye(N) + 0.3 * rng.standard_normal((N, N)) for _ in range(L)]
+        sub = [rng.standard_normal((N, N)) * 0.4 for _ in range(L - 1)]
+        corner = rng.standard_normal((N, N)) * 0.4
+        pc, D = pcyclic_from_general(diag, sub, corner)
+
+        # Assemble A densely.
+        A = np.zeros((N * L, N * L))
+        for i in range(L):
+            A[i * N : (i + 1) * N, i * N : (i + 1) * N] = diag[i]
+        for i in range(1, L):
+            A[i * N : (i + 1) * N, (i - 1) * N : i * N] = sub[i - 1]
+        A[:N, (L - 1) * N :] = corner
+
+        G = np.linalg.inv(pc.to_dense())
+        A_inv = np.zeros_like(A)
+        for j in range(L):
+            Dinv = np.linalg.inv(D[j])
+            A_inv[:, j * N : (j + 1) * N] = G[:, j * N : (j + 1) * N] @ Dinv
+        np.testing.assert_allclose(A_inv, np.linalg.inv(A), atol=1e-10)
+
+    def test_wrong_sub_count(self, rng):
+        diag = [np.eye(2)] * 3
+        with pytest.raises(ValueError, match="sub-diagonal"):
+            pcyclic_from_general(diag, [np.eye(2)] * 3, np.eye(2))
+
+
+class TestRandomPCyclic:
+    def test_deterministic_with_seed(self):
+        a = random_pcyclic(3, 4, np.random.default_rng(7))
+        b = random_pcyclic(3, 4, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.B, b.B)
+
+    def test_scale_controls_norm(self, rng):
+        small = random_pcyclic(3, 32, np.random.default_rng(1), scale=0.1)
+        big = random_pcyclic(3, 32, np.random.default_rng(1), scale=1.0)
+        assert np.all(small.norm_blocks() < big.norm_blocks())
+
+    def test_invertible_at_moderate_scale(self, rng):
+        pc = random_pcyclic(5, 8, rng, scale=0.5)
+        M = pc.to_dense()
+        assert np.linalg.cond(M) < 1e6
+
+
+class TestDiagnostics:
+    def test_norm_blocks_shape(self, small_pc):
+        assert small_pc.norm_blocks().shape == (6,)
+
+    def test_memory_bytes(self, small_pc):
+        assert small_pc.memory_bytes() == 6 * 4 * 4 * 8

@@ -1,0 +1,141 @@
+"""Property-based tests, second wave: solver, custom wrap, tridiag,
+statistics, checkerboard, charts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.ascii_chart import bar_chart, sparkline
+from repro.core.custom_wrap import torus_distance, wrap_blocks
+from repro.core.fsi import fsi
+from repro.core.patterns import Pattern
+from repro.core.pcyclic import random_pcyclic, torus_index
+from repro.core.solve import PCyclicSolver
+from repro.dqmc.stats import jackknife, jackknife_ratio
+from repro.hubbard.checkerboard import CheckerboardPropagator
+from repro.hubbard.lattice import RectangularLattice
+from repro.tridiag import TridiagAdjacency, SchurFactors, random_btd
+
+geometries = st.integers(2, 4).flatmap(
+    lambda b: st.integers(2, 4).map(lambda c: (b * c, c))
+)
+
+
+class TestSolverProperties:
+    @given(st.integers(1, 6), st.integers(2, 5), st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_solve_residual(self, L, N, seed):
+        rng = np.random.default_rng(seed)
+        pc = random_pcyclic(L, N, rng, scale=0.6)
+        rhs = rng.standard_normal(L * N)
+        x = PCyclicSolver(pc).solve(rhs)
+        np.testing.assert_allclose(pc.matvec(x), rhs, atol=1e-8)
+
+    @given(st.integers(2, 5), st.integers(2, 4), st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_slogdet_matches_dense(self, L, N, seed):
+        pc = random_pcyclic(L, N, np.random.default_rng(seed), scale=0.7)
+        sign, logabs = PCyclicSolver(pc).slogdet()
+        ref_sign, ref_log = np.linalg.slogdet(pc.to_dense())
+        assert sign == pytest.approx(ref_sign)
+        assert logabs == pytest.approx(ref_log, rel=1e-8, abs=1e-8)
+
+
+class TestCustomWrapProperties:
+    @given(geometries, st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_any_block_from_any_geometry(self, geom, data):
+        L, c = geom
+        q = data.draw(st.integers(0, c - 1))
+        k = data.draw(st.integers(1, L))
+        l = data.draw(st.integers(1, L))
+        pc = random_pcyclic(L, 3, np.random.default_rng(L * 31 + c), scale=0.55)
+        res = fsi(pc, c, pattern=Pattern.DIAGONAL, q=q, num_threads=1)
+        out = wrap_blocks(pc, res.seeds, c, q, [(k, l)])
+        G = np.linalg.inv(pc.to_dense())
+        ref = G[(k - 1) * 3 : k * 3, (l - 1) * 3 : l * 3]
+        np.testing.assert_allclose(out[(k, l)], ref, atol=1e-6)
+
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(2, 40))
+    def test_torus_distance_is_metric_like(self, a_raw, b_raw, L):
+        a, b = torus_index(a_raw, L), torus_index(b_raw, L)
+        dab = torus_distance(a, b, L)
+        dba = torus_distance(b, a, L)
+        assert abs(dab) == abs(dba) or abs(dab) + abs(dba) == L
+        assert abs(dab) <= L // 2
+
+
+class TestTridiagProperties:
+    @given(st.integers(2, 6), st.integers(0, 2**16), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_adjacency_moves_anywhere(self, L, seed, data):
+        N = 3
+        J = random_btd(L, N, np.random.default_rng(seed))
+        G = np.linalg.inv(J.to_dense())
+        ops = TridiagAdjacency(SchurFactors(J))
+        i = data.draw(st.integers(1, L))
+        j = data.draw(st.integers(1, L))
+        g = G[(i - 1) * N : i * N, (j - 1) * N : j * N]
+        if i < L:
+            ref = G[i * N : (i + 1) * N, (j - 1) * N : j * N]
+            np.testing.assert_allclose(ops.down(g, i, j), ref, atol=1e-7)
+        if j > 1:
+            ref = G[(i - 1) * N : i * N, (j - 2) * N : (j - 1) * N]
+            np.testing.assert_allclose(ops.left(g, i, j), ref, atol=1e-7)
+
+
+class TestStatsProperties:
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+    )
+    def test_ratio_with_unit_denominator_is_mean(self, xs):
+        num = np.array(xs)
+        den = np.ones(len(xs))
+        r_mean, r_err = jackknife_ratio(num, den)
+        j_mean, j_err = jackknife(num)
+        assert r_mean == pytest.approx(j_mean, rel=1e-9, abs=1e-9)
+        assert r_err == pytest.approx(j_err, rel=1e-6, abs=1e-9)
+
+    @given(
+        st.lists(st.floats(0.5, 100), min_size=3, max_size=30),
+        st.floats(0.2, 5.0),
+    )
+    def test_ratio_scale_invariance(self, xs, scale):
+        """Scaling numerator and denominator together leaves the ratio."""
+        num = np.array(xs)
+        den = np.array(xs[::-1])
+        a, _ = jackknife_ratio(num, den)
+        b, _ = jackknife_ratio(scale * num, scale * den)
+        assert b == pytest.approx(a, rel=1e-9)
+
+
+class TestCheckerboardProperties:
+    @given(st.floats(0.01, 0.3), st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_inverse_roundtrip(self, dtau, seed):
+        cb = CheckerboardPropagator(RectangularLattice(4, 4), 1.0, dtau)
+        X = np.random.default_rng(seed).standard_normal((16, 2))
+        np.testing.assert_allclose(
+            cb.apply_left(cb.apply_left(X), inverse=True), X, atol=1e-10
+        )
+
+    @given(st.floats(0.01, 0.3))
+    @settings(max_examples=10, deadline=None)
+    def test_unit_determinant(self, dtau):
+        cb = CheckerboardPropagator(RectangularLattice(4, 4), 1.0, dtau)
+        assert np.linalg.det(cb.matrix()) == pytest.approx(1.0, rel=1e-9)
+
+
+class TestChartProperties:
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_sparkline_length(self, xs):
+        assert len(sparkline(xs)) == len(xs)
+
+    @given(
+        st.lists(st.floats(0, 1e6), min_size=1, max_size=12),
+    )
+    def test_bar_chart_peak_full(self, xs):
+        out = bar_chart([str(i) for i in range(len(xs))], xs, width=20)
+        if max(xs) > 0:
+            assert max(line.count("█") for line in out.splitlines()) == 20

@@ -1,0 +1,92 @@
+"""Cluster-size stability analysis (the c ~ sqrt(L) rule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pcyclic import BlockPCyclic
+from repro.core.stability import (
+    AccuracyPoint,
+    cluster_condition_growth,
+    divisors,
+    fsi_accuracy_sweep,
+    recommend_c,
+)
+from repro.hubbard import HSField, HubbardModel, RectangularLattice
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(64) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_square(self):
+        assert divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+
+class TestRecommendC:
+    def test_paper_choice_L100(self):
+        assert recommend_c(100) == 10
+
+    def test_paper_choice_L64(self):
+        assert recommend_c(64) == 8
+
+    def test_never_exceeds_sqrt(self):
+        for L in (12, 36, 48, 100, 144):
+            c = recommend_c(L)
+            assert c * c <= L
+            assert L % c == 0
+
+    def test_prime_L(self):
+        assert recommend_c(17) == 1
+
+
+@pytest.fixture(scope="module")
+def low_temp_pc():
+    """beta=6 Hubbard matrix: block products degrade visibly with c."""
+    model = HubbardModel(RectangularLattice(2, 2), L=24, U=4.0, beta=6.0)
+    field = HSField.random(24, 4, np.random.default_rng(11))
+    return model.build_matrix(field, +1)
+
+
+class TestConditionGrowth:
+    def test_condition_grows_with_c(self, low_temp_pc):
+        growth = cluster_condition_growth(low_temp_pc, [1, 2, 4, 8])
+        assert growth[2] > growth[1]
+        assert growth[8] > growth[2]
+
+    def test_growth_is_roughly_exponential(self, low_temp_pc):
+        growth = cluster_condition_growth(low_temp_pc, [2, 4, 8])
+        # cond(c=8) should far exceed cond(c=2) squared-ish behaviour:
+        assert growth[8] > growth[2] ** 1.5
+
+    def test_validates_c(self, low_temp_pc):
+        with pytest.raises(ValueError):
+            cluster_condition_growth(low_temp_pc, [5])
+
+
+class TestAccuracySweep:
+    def test_points_and_monotone_flops(self, low_temp_pc):
+        pts = fsi_accuracy_sweep(low_temp_pc, [2, 4, 8])
+        assert [p.c for p in pts] == [2, 4, 8]
+        assert all(isinstance(p, AccuracyPoint) for p in pts)
+        # Fewer flops with larger c for the column pattern:
+        assert pts[2].fsi_flops < pts[0].fsi_flops
+
+    def test_all_accurate_at_moderate_beta(self, hubbard_pc):
+        pts = fsi_accuracy_sweep(hubbard_pc, [2, 4])
+        assert all(p.max_rel_error < 1e-10 for p in pts)
+
+    def test_error_grows_with_c_at_low_temperature(self, low_temp_pc):
+        pts = {p.c: p for p in fsi_accuracy_sweep(low_temp_pc, [2, 8])}
+        # At beta = 6, clustering 8 slices loses digits vs clustering 2.
+        assert pts[8].max_rel_error > pts[2].max_rel_error

@@ -1,0 +1,103 @@
+"""Binning and jackknife statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dqmc.stats import BinnedSeries, BinningAnalysis, jackknife
+
+
+class TestJackknife:
+    def test_mean_exact(self):
+        mean, err = jackknife(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert mean == pytest.approx(2.5)
+
+    def test_error_matches_standard_formula(self):
+        """For the plain mean, jackknife error == sqrt(var / n)."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(50)
+        _, err = jackknife(x)
+        expected = np.sqrt(np.var(x, ddof=1) / len(x))
+        assert err == pytest.approx(expected, rel=1e-10)
+
+    def test_constant_series_zero_error(self):
+        mean, err = jackknife(np.full(10, 3.3))
+        assert mean == pytest.approx(3.3)
+        assert err == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_bin(self):
+        mean, err = jackknife(np.array([5.0]))
+        assert mean == 5.0 and err == 0.0
+
+    def test_array_observables(self):
+        bins = np.arange(12.0).reshape(4, 3)
+        mean, err = jackknife(bins)
+        np.testing.assert_allclose(mean, bins.mean(axis=0))
+        assert err.shape == (3,)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            jackknife(np.empty((0, 2)))
+
+
+class TestBinnedSeries:
+    def test_binning(self):
+        s = BinnedSeries(bin_size=2)
+        for v in (1.0, 3.0, 5.0, 7.0):
+            s.add(v)
+        np.testing.assert_array_equal(s.bin_means(), [2.0, 6.0])
+        assert s.n_bins == 2 and s.n_samples == 4
+
+    def test_partial_bin_excluded_by_default(self):
+        s = BinnedSeries(bin_size=2)
+        for v in (1.0, 3.0, 10.0):
+            s.add(v)
+        assert s.bin_means().shape == (1,)
+        assert s.bin_means(include_partial=True).shape == (2,)
+
+    def test_no_complete_bins_raises(self):
+        s = BinnedSeries(bin_size=5)
+        s.add(1.0)
+        with pytest.raises(ValueError, match="no complete bins"):
+            s.bin_means()
+
+    def test_estimate(self):
+        s = BinnedSeries(bin_size=1)
+        for v in (2.0, 4.0):
+            s.add(v)
+        mean, err = s.estimate()
+        assert mean == pytest.approx(3.0)
+        assert err == pytest.approx(1.0)
+
+    def test_array_samples(self):
+        s = BinnedSeries(bin_size=2)
+        s.add(np.array([1.0, 0.0]))
+        s.add(np.array([3.0, 2.0]))
+        np.testing.assert_array_equal(s.bin_means()[0], [2.0, 1.0])
+
+    def test_invalid_bin_size(self):
+        with pytest.raises(ValueError):
+            BinnedSeries(bin_size=0)
+
+
+class TestBinningAnalysis:
+    def test_multiple_observables(self):
+        a = BinningAnalysis(bin_size=1)
+        a.add({"x": 1.0, "v": np.array([1.0, 2.0])})
+        a.add({"x": 3.0, "v": np.array([3.0, 4.0])})
+        est = a.estimate()
+        assert est["x"][0] == pytest.approx(2.0)
+        np.testing.assert_allclose(est["v"][0], [2.0, 3.0])
+        assert set(a.observables) == {"x", "v"}
+
+    def test_bin_size_respected(self):
+        a = BinningAnalysis(bin_size=3)
+        for i in range(9):
+            a.add({"x": float(i)})
+        assert a._series["x"].n_bins == 3
+
+    def test_estimate_with_partial(self):
+        a = BinningAnalysis(bin_size=4)
+        for i in range(2):
+            a.add({"x": float(i)})
+        est = a.estimate(include_partial=True)
+        assert est["x"][0] == pytest.approx(0.5)

@@ -1,0 +1,187 @@
+"""Time-displaced measurements: G_loc(tau) and szz(tau, d)."""
+
+import numpy as np
+import pytest
+
+from repro.dqmc import DQMC, DQMCConfig
+from repro.dqmc.measurements import measure_slice
+from repro.dqmc.tdm import BlockPairAccumulator, local_greens_tau, szz_tau
+from repro.hubbard import HubbardModel, RectangularLattice
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = HubbardModel(RectangularLattice(3, 3), L=8, U=4.0, beta=2.0)
+    sim = DQMC(
+        model,
+        DQMCConfig(warmup_sweeps=1, measurement_sweeps=0, c=4, seed=2,
+                   num_threads=1),
+    )
+    sim.sweep()
+    bundles = sim.compute_greens(q=1)
+    return model, sim, bundles
+
+
+def dense_blocks(model, field):
+    out = {}
+    N = model.N
+    for s in (+1, -1):
+        G = np.linalg.inv(model.build_matrix(field, s).to_dense())
+        out[s] = lambda k, l, G=G: G[(k - 1) * N : k * N, (l - 1) * N : l * N]
+    return out
+
+
+class TestAccumulator:
+    def test_c_tau_uniform(self, setup):
+        model, _, bundles = setup
+        sel = bundles[+1].rows.selection
+        acc = BlockPairAccumulator(model.lattice, sel.L, sel.seeds)
+        np.testing.assert_array_equal(acc.c_tau, sel.b)
+
+    def test_threaded_matches_serial(self, setup):
+        model, _, bundles = setup
+        sel = bundles[+1].rows.selection
+        acc = BlockPairAccumulator(model.lattice, sel.L, sel.seeds)
+        kernel = lambda k, l: bundles[+1].rows[(k, l)] ** 2
+        a = acc.accumulate(kernel, num_threads=1)
+        b = acc.accumulate(kernel, num_threads=4)
+        np.testing.assert_allclose(a, b, atol=1e-14)
+
+    def test_scalar_accumulation_constant(self, setup):
+        model, _, bundles = setup
+        sel = bundles[+1].rows.selection
+        acc = BlockPairAccumulator(model.lattice, sel.L, sel.seeds)
+        vals = acc.accumulate_scalar(lambda k, l: 3.0)
+        np.testing.assert_allclose(vals, 3.0)
+
+
+class TestLocalGreens:
+    def test_tau0_is_one_minus_half_density(self, setup):
+        model, sim, bundles = setup
+        g = local_greens_tau(bundles[+1].rows, bundles[-1].rows, model.lattice)
+        seeds = bundles[+1].rows.selection.seeds
+        expected = np.mean(
+            [
+                0.5
+                * (
+                    np.trace(bundles[+1].full_diagonal[(k, k)])
+                    + np.trace(bundles[-1].full_diagonal[(k, k)])
+                )
+                / model.N
+                for k in seeds
+            ]
+        )
+        assert g[0] == pytest.approx(expected, abs=1e-12)
+
+    def test_positive_spectral_weight(self, setup):
+        """G_loc(tau) >= 0 for 0 <= tau < beta (fermionic positivity),
+        once the antiperiodic wrap sign is applied."""
+        model, _, bundles = setup
+        g = local_greens_tau(bundles[+1].rows, bundles[-1].rows, model.lattice)
+        assert np.all(g > -1e-10)
+
+    def test_interior_decay(self, setup):
+        """G_loc decays from both ends toward the middle of [0, beta]."""
+        model, _, bundles = setup
+        g = local_greens_tau(bundles[+1].rows, bundles[-1].rows, model.lattice)
+        assert g[0] == np.max(g)
+        assert np.min(g) == np.min(g[2:-1])  # interior minimum
+
+
+class TestSzzTau:
+    def test_matches_brute_force(self, setup):
+        model, sim, bundles = setup
+        sz = szz_tau(
+            bundles[+1].rows,
+            bundles[+1].cols,
+            bundles[-1].rows,
+            bundles[-1].cols,
+            bundles[+1].full_diagonal,
+            bundles[-1].full_diagonal,
+            model.lattice,
+        )
+        blk = dense_blocks(model, sim.field)
+        N, L = model.N, model.L
+        seeds = bundles[+1].rows.selection.seeds
+        D, radii = model.lattice.distance_classes
+        cls_counts = np.bincount(D.ravel(), minlength=len(radii))
+        expected = np.zeros((L, len(radii)))
+        counts = np.zeros(L)
+        for k in seeds:
+            for l in range(1, L + 1):
+                tau = (k - l) % L
+                counts[tau] += 1
+                out = np.zeros((N, N))
+                for s in (+1, -1):
+                    nk = 1 - np.diag(blk[s](k, k))
+                    for sp in (+1, -1):
+                        nl = 1 - np.diag(blk[sp](l, l))
+                        term = np.multiply.outer(nk, nl)
+                        if s == sp:
+                            if k == l:
+                                Gkk = blk[s](k, k)
+                                term += (np.eye(N) - Gkk.T) * Gkk
+                            else:
+                                term -= blk[s](l, k).T * blk[s](k, l)
+                        out += s * sp * term
+                E = 0.25 * out
+                expected[tau] += np.bincount(
+                    D.ravel(), weights=E.ravel(), minlength=len(radii)
+                )
+        expected /= counts[:, None]
+        expected /= cls_counts[None, :]
+        np.testing.assert_allclose(sz, expected, atol=1e-12)
+
+    def test_tau0_equals_equal_time(self, setup):
+        """The tau = 0 bin reproduces the equal-time szz exactly."""
+        model, _, bundles = setup
+        sz = szz_tau(
+            bundles[+1].rows,
+            bundles[+1].cols,
+            bundles[-1].rows,
+            bundles[-1].cols,
+            bundles[+1].full_diagonal,
+            bundles[-1].full_diagonal,
+            model.lattice,
+        )
+        seeds = bundles[+1].rows.selection.seeds
+        eq = np.mean(
+            [
+                measure_slice(
+                    bundles[+1].full_diagonal[(k, k)],
+                    bundles[-1].full_diagonal[(k, k)],
+                    model,
+                ).szz
+                for k in seeds
+            ],
+            axis=0,
+        )
+        np.testing.assert_allclose(sz[0], eq, atol=1e-12)
+
+    def test_geometry_mismatch_rejected(self, setup):
+        model, sim, bundles = setup
+        other = sim.compute_greens(q=2)
+        with pytest.raises(ValueError, match="geometries differ"):
+            szz_tau(
+                bundles[+1].rows,
+                other[+1].cols,
+                bundles[-1].rows,
+                bundles[-1].cols,
+                bundles[+1].full_diagonal,
+                bundles[-1].full_diagonal,
+                model.lattice,
+            )
+
+    def test_onsite_decays_in_tau(self, setup):
+        """The on-site moment correlation is largest at tau = 0."""
+        model, _, bundles = setup
+        sz = szz_tau(
+            bundles[+1].rows,
+            bundles[+1].cols,
+            bundles[-1].rows,
+            bundles[-1].cols,
+            bundles[+1].full_diagonal,
+            bundles[-1].full_diagonal,
+            model.lattice,
+        )
+        assert sz[0, 0] == np.max(sz[:, 0])

@@ -1,0 +1,271 @@
+"""Block tridiagonal FSI extension: container, Schur relations, pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patterns import Pattern, seed_indices
+from repro.tridiag import (
+    BlockTridiagonal,
+    SchurFactors,
+    TridiagAdjacency,
+    btd_determinant,
+    btd_full_inverse,
+    btd_solve,
+    fsi_tridiagonal,
+    laplacian_chain,
+    random_btd,
+    rgf_diagonal,
+    run_bounds,
+    schur_reduce,
+)
+
+L, N = 8, 3
+
+
+@pytest.fixture(scope="module")
+def setup():
+    J = random_btd(L, N, np.random.default_rng(5))
+    G = np.linalg.inv(J.to_dense())
+
+    def blk(i, j):
+        return G[(i - 1) * N : i * N, (j - 1) * N : j * N]
+
+    return J, G, blk
+
+
+class TestContainer:
+    def test_shapes_and_access(self, setup):
+        J, _, _ = setup
+        assert J.L == L and J.N == N and J.shape == (L * N, L * N)
+        np.testing.assert_array_equal(J.diag(1), J.A[0])
+        np.testing.assert_array_equal(J.sub(2), J.E[1])
+        np.testing.assert_array_equal(J.sup(L - 1), J.F[L - 2])
+
+    def test_index_bounds(self, setup):
+        J, _, _ = setup
+        with pytest.raises(IndexError):
+            J.diag(0)
+        with pytest.raises(IndexError):
+            J.sub(L)
+        with pytest.raises(IndexError):
+            J.sup(0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="E and F"):
+            BlockTridiagonal(np.zeros((3, 2, 2)), np.zeros((1, 2, 2)), np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError, match=r"\(L, N, N\)"):
+            BlockTridiagonal(np.zeros((2, 2)), np.zeros((1, 2, 2)), np.zeros((1, 2, 2)))
+
+    def test_to_dense_structure(self, setup):
+        J, _, _ = setup
+        D = J.to_dense()
+        # Block (3, 1) must be zero (tridiagonal).
+        np.testing.assert_array_equal(D[2 * N : 3 * N, 0:N], 0.0)
+
+    def test_matvec_matches_dense(self, setup):
+        J, _, _ = setup
+        x = np.random.default_rng(0).standard_normal((L * N, 2))
+        np.testing.assert_allclose(J.matvec(x), J.to_dense() @ x, atol=1e-12)
+
+    def test_single_block(self):
+        J = BlockTridiagonal(np.eye(3)[None] * 2.0, np.zeros((0, 3, 3)), np.zeros((0, 3, 3)))
+        x = np.ones(3)
+        np.testing.assert_allclose(J.matvec(x), 2.0 * x)
+
+    def test_laplacian_is_spd(self):
+        J = laplacian_chain(6, 4)
+        assert np.all(np.linalg.eigvalsh(J.to_dense()) > 0)
+
+    def test_laplacian_validation(self):
+        with pytest.raises(ValueError):
+            laplacian_chain(4, 4, coupling=-1.0)
+
+
+class TestSchurFactors:
+    def test_diagonal_blocks(self, setup):
+        J, _, blk = setup
+        f = SchurFactors(J)
+        for i in (1, 4, L):
+            np.testing.assert_allclose(f.diagonal_block(i), blk(i, i), atol=1e-12)
+
+    def test_boundary_identities(self, setup):
+        """S_1 = A_1 and T_L = A_L; G_11 = T_1^{-1}, G_LL = S_L^{-1}."""
+        J, _, blk = setup
+        f = SchurFactors(J)
+        np.testing.assert_array_equal(f.s(1), J.diag(1))
+        np.testing.assert_array_equal(f.t(L), J.diag(L))
+        np.testing.assert_allclose(np.linalg.inv(f.t(1)), blk(1, 1), atol=1e-12)
+        np.testing.assert_allclose(np.linalg.inv(f.s(L)), blk(L, L), atol=1e-12)
+
+    def test_rgf_diagonal(self, setup):
+        J, _, blk = setup
+        D = rgf_diagonal(J)
+        for i in range(1, L + 1):
+            np.testing.assert_allclose(D[i - 1], blk(i, i), atol=1e-12)
+
+
+class TestAdjacency:
+    @pytest.mark.parametrize("i", range(1, L + 1))
+    @pytest.mark.parametrize("j", range(1, L + 1))
+    def test_all_moves(self, setup, i, j):
+        J, _, blk = setup
+        ops = TridiagAdjacency(SchurFactors(J))
+        g = blk(i, j)
+        if i < L:
+            np.testing.assert_allclose(ops.down(g, i, j), blk(i + 1, j), atol=1e-10)
+        if i > 1:
+            np.testing.assert_allclose(ops.up(g, i, j), blk(i - 1, j), atol=1e-10)
+        if j < L:
+            np.testing.assert_allclose(ops.right(g, i, j), blk(i, j + 1), atol=1e-10)
+        if j > 1:
+            np.testing.assert_allclose(ops.left(g, i, j), blk(i, j - 1), atol=1e-10)
+
+    def test_move_off_chain_raises(self, setup):
+        J, _, blk = setup
+        ops = TridiagAdjacency(SchurFactors(J))
+        with pytest.raises(IndexError):
+            ops.down(blk(L, 1), L, 1)
+        with pytest.raises(IndexError):
+            ops.up(blk(1, 1), 1, 1)
+        with pytest.raises(IndexError):
+            ops.right(blk(1, L), 1, L)
+        with pytest.raises(IndexError):
+            ops.left(blk(1, 1), 1, 1)
+
+
+class TestSolveAndDeterminant:
+    def test_solve(self, setup):
+        J, _, _ = setup
+        rhs = np.random.default_rng(2).standard_normal((L * N, 3))
+        x = btd_solve(J, rhs)
+        np.testing.assert_allclose(J.matvec(x), rhs, atol=1e-10)
+
+    def test_solve_vector(self, setup):
+        J, _, _ = setup
+        rhs = np.ones(L * N)
+        x = btd_solve(J, rhs)
+        assert x.shape == (L * N,)
+
+    def test_solve_bad_shape(self, setup):
+        J, _, _ = setup
+        with pytest.raises(ValueError, match="leading dim"):
+            btd_solve(J, np.ones(5))
+
+    def test_determinant(self, setup):
+        J, _, _ = setup
+        sign, logabs = btd_determinant(J)
+        ref_sign, ref_log = np.linalg.slogdet(J.to_dense())
+        assert sign == pytest.approx(ref_sign)
+        assert logabs == pytest.approx(ref_log, rel=1e-10)
+
+
+class TestReduction:
+    def test_run_bounds_cover_complement(self):
+        for q in range(4):
+            runs = run_bounds(12, 4, q)
+            eliminated = set()
+            for lo, hi, _, _ in runs:
+                eliminated.update(range(lo, hi + 1))
+            kept = set(seed_indices(12, 4, q))
+            assert eliminated | kept == set(range(1, 13))
+            assert not (eliminated & kept)
+
+    @pytest.mark.parametrize("q", [0, 1, 3])
+    def test_seed_property(self, setup, q):
+        J, _, blk = setup
+        c = 4
+        red = schur_reduce(J, c, q, num_threads=1)
+        Gt = btd_full_inverse(red)
+        kept = seed_indices(L, c, q)
+        for m, k in enumerate(kept):
+            for mp, kp in enumerate(kept):
+                np.testing.assert_allclose(
+                    Gt[m, mp], blk(k, kp), atol=1e-11
+                )
+
+    def test_c_one_passthrough(self, setup):
+        J, _, _ = setup
+        assert schur_reduce(J, 1, 0) is J
+
+    def test_threaded_matches_serial(self, setup):
+        J, _, _ = setup
+        a = schur_reduce(J, 4, 1, num_threads=1)
+        b = schur_reduce(J, 4, 1, num_threads=4)
+        np.testing.assert_allclose(a.A, b.A, atol=1e-14)
+        np.testing.assert_allclose(a.E, b.E, atol=1e-14)
+
+    def test_reduced_is_tridiagonal_of_right_size(self, setup):
+        J, _, _ = setup
+        red = schur_reduce(J, 2, 0, num_threads=1)
+        assert red.L == L // 2 and red.N == N
+
+
+class TestFullInverse:
+    def test_matches_dense(self, setup):
+        J, G, _ = setup
+        GF = btd_full_inverse(J)
+        stitched = np.block([[GF[i, j] for j in range(L)] for i in range(L)])
+        np.testing.assert_allclose(stitched, G, atol=1e-10)
+
+
+class TestFSITridiagonal:
+    @pytest.mark.parametrize("pattern", list(Pattern))
+    @pytest.mark.parametrize("q", [0, 2])
+    def test_all_patterns(self, setup, pattern, q):
+        J, G, _ = setup
+        sel = fsi_tridiagonal(J, 4, pattern=pattern, q=q, num_threads=1)
+        assert sel.max_relative_error(G) < 1e-9
+        assert len(sel) == sel.selection.count()
+
+    def test_threads_match_serial(self, setup):
+        J, _, _ = setup
+        a = fsi_tridiagonal(J, 4, pattern=Pattern.COLUMNS, q=1, num_threads=1)
+        b = fsi_tridiagonal(J, 4, pattern=Pattern.COLUMNS, q=1, num_threads=4)
+        for kl in a:
+            np.testing.assert_array_equal(a[kl], b[kl])
+
+    def test_random_q(self, setup):
+        J, G, _ = setup
+        sel = fsi_tridiagonal(J, 2, pattern=Pattern.DIAGONAL, rng=3)
+        assert sel.max_relative_error(G) < 1e-10
+
+    def test_rejects_bad_c(self, setup):
+        J, _, _ = setup
+        with pytest.raises(ValueError, match="divisor"):
+            fsi_tridiagonal(J, 3)
+
+    def test_laplacian_workload(self):
+        J = laplacian_chain(12, 4)
+        G = np.linalg.inv(J.to_dense())
+        sel = fsi_tridiagonal(J, 4, pattern=Pattern.FULL_DIAGONAL, q=1)
+        assert sel.max_relative_error(G) < 1e-12
+
+
+class TestProperties:
+    @given(
+        st.integers(2, 4),
+        st.integers(1, 3),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_reduce_then_invert_matches_dense(self, b, c, seed):
+        Lp = b * c
+        J = random_btd(Lp, 2, np.random.default_rng(seed))
+        G = np.linalg.inv(J.to_dense())
+        red = schur_reduce(J, c, 0, num_threads=1)
+        Gt = btd_full_inverse(red)
+        kept = seed_indices(Lp, c, 0)
+        for m, k in enumerate(kept):
+            ref = G[(k - 1) * 2 : k * 2, (k - 1) * 2 : k * 2]
+            np.testing.assert_allclose(Gt[m, m], ref, atol=1e-8)
+
+    @given(st.integers(1, 6), st.integers(1, 4), st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_solve_property(self, Lp, Np, seed):
+        rng = np.random.default_rng(seed)
+        J = random_btd(Lp, Np, rng)
+        rhs = rng.standard_normal(Lp * Np)
+        x = btd_solve(J, rhs)
+        np.testing.assert_allclose(J.matvec(x), rhs, atol=1e-8)

@@ -1,0 +1,108 @@
+"""The hybrid auto-tuner and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.perf.machine import EDISON
+from repro.perf.tuner import enumerate_configs, tune_hybrid
+
+
+class TestEnumerate:
+    def test_divisor_configs(self):
+        configs = enumerate_configs(100)
+        assert (2400, 1) in configs
+        assert (200, 12) in configs
+        assert (100, 24) in configs
+        # All saturate 2400 cores.
+        assert all(r * t == 2400 for r, t in configs)
+
+    def test_threads_divide_cores(self):
+        for _, t in enumerate_configs(10):
+            assert EDISON.cores_per_node % t == 0
+
+
+class TestTuner:
+    def test_small_n_prefers_pure_mpi(self):
+        """N = 400 fits everywhere -> pure MPI wins (paper's Fig. 9)."""
+        result = tune_hybrid(400, 100, 10, 2400)
+        assert result.best is not None
+        assert result.best.threads_per_rank == 1
+
+    def test_n576_needs_two_threads(self):
+        """N = 576 OOMs at 12 ranks/socket; tuner picks 2 threads/rank."""
+        result = tune_hybrid(576, 100, 10, 2400)
+        assert result.best is not None
+        assert result.best.threads_per_rank == 2
+
+    def test_large_n_needs_more_threads(self):
+        result = tune_hybrid(1024, 100, 10, 2400)
+        assert result.best is not None
+        assert result.best.threads_per_rank >= 4
+
+    def test_feasible_subset(self):
+        result = tune_hybrid(1024, 100, 10, 2400)
+        assert 0 < len(result.feasible) < len(result.candidates)
+
+    def test_summary_rows_shape(self):
+        result = tune_hybrid(400, 100, 10, 2400)
+        rows = result.summary_rows()
+        assert len(rows) == len(result.candidates)
+        assert all(len(r) == 3 for r in rows)
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["validate", "--nx", "4"])
+        assert args.command == "validate"
+
+    def test_validate_command_passes(self, capsys):
+        rc = main(["validate", "--nx", "3", "--slices", "8", "--c", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_tune_command(self, capsys):
+        rc = main(["tune", "--N", "576", "--matrices", "2400"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best:" in out
+        assert "OOM" in out  # pure MPI infeasible at N=576
+
+    def test_fsi_command(self, capsys):
+        rc = main(["fsi", "--nx", "3", "--slices", "8", "--c", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fsi" in out and "explicit" in out
+
+    def test_dqmc_command(self, capsys):
+        rc = main(
+            [
+                "dqmc",
+                "--nx", "3",
+                "--slices", "8",
+                "--c", "4",
+                "--warmup", "1",
+                "--measure", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "density" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tridiag_command(self, capsys):
+        rc = main(["tridiag", "--N", "6", "--slices", "16", "--c", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FSI - RGF" in out
+
+    def test_trace_command(self, capsys):
+        rc = main(["trace", "--nx", "3", "--slices", "8", "--c", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Hutchinson" in out and "exact" in out

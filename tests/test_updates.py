@@ -1,0 +1,146 @@
+"""Metropolis update algebra against dense determinants and inverses."""
+
+import numpy as np
+import pytest
+
+from repro.core.greens_explicit import equal_time_greens
+from repro.dqmc.updates import (
+    UpdateStats,
+    advance_slice,
+    apply_flip,
+    gamma_factor,
+    init_wrapped,
+    metropolis_ratio,
+)
+
+
+@pytest.fixture
+def wrapped_setup(hubbard_model, hubbard_field):
+    """Wrapped Green's functions at slice 3 for both spins."""
+    out = {}
+    for sigma in (+1, -1):
+        pc = hubbard_model.build_matrix(hubbard_field, sigma)
+        out[sigma] = init_wrapped(equal_time_greens(pc, 3), hubbard_model)
+    return out
+
+
+class TestGammaFactor:
+    def test_definition(self, hubbard_model):
+        nu = hubbard_model.nu
+        assert gamma_factor(hubbard_model, +1, +1) == pytest.approx(
+            np.exp(-2 * nu) - 1
+        )
+        assert gamma_factor(hubbard_model, -1, +1) == pytest.approx(
+            np.exp(2 * nu) - 1
+        )
+
+    def test_spin_field_symmetry(self, hubbard_model):
+        assert gamma_factor(hubbard_model, +1, -1) == pytest.approx(
+            gamma_factor(hubbard_model, -1, +1)
+        )
+
+    def test_double_flip_cancels(self, hubbard_model):
+        """gamma(h) then gamma(-h) composes to no change: (1+g1)(1+g2)=1."""
+        g1 = gamma_factor(hubbard_model, +1, +1)
+        g2 = gamma_factor(hubbard_model, -1, +1)
+        assert (1 + g1) * (1 + g2) == pytest.approx(1.0)
+
+
+class TestMetropolisRatio:
+    @pytest.mark.parametrize("site", [0, 4, 8])
+    @pytest.mark.parametrize("sigma", [+1, -1])
+    def test_matches_determinant_ratio(
+        self, hubbard_model, hubbard_field, wrapped_setup, site, sigma
+    ):
+        l = 3  # 1-based slice of the fixture
+        g = gamma_factor(hubbard_model, int(hubbard_field.h[l - 1, site]), sigma)
+        r = metropolis_ratio(wrapped_setup[sigma], site, g)
+        d0 = np.linalg.det(hubbard_model.build_matrix(hubbard_field, sigma).to_dense())
+        flipped = hubbard_field.copy()
+        flipped.flip(l - 1, site)
+        d1 = np.linalg.det(hubbard_model.build_matrix(flipped, sigma).to_dense())
+        assert r == pytest.approx(d1 / d0, rel=1e-8)
+
+    def test_half_filling_product_positive(
+        self, hubbard_model, hubbard_field, wrapped_setup
+    ):
+        """r_up * r_dn > 0 at half filling (no sign problem)."""
+        for i in range(hubbard_model.N):
+            h = int(hubbard_field.h[2, i])
+            r_up = metropolis_ratio(
+                wrapped_setup[+1], i, gamma_factor(hubbard_model, h, +1)
+            )
+            r_dn = metropolis_ratio(
+                wrapped_setup[-1], i, gamma_factor(hubbard_model, h, -1)
+            )
+            assert r_up * r_dn > 0
+
+
+class TestApplyFlip:
+    def test_matches_rebuilt_inverse(
+        self, hubbard_model, hubbard_field, wrapped_setup
+    ):
+        l, i, sigma = 3, 4, +1
+        g = gamma_factor(hubbard_model, int(hubbard_field.h[l - 1, i]), sigma)
+        Gw = wrapped_setup[sigma].copy()
+        r = metropolis_ratio(Gw, i, g)
+        apply_flip(Gw, i, g, r)
+        flipped = hubbard_field.copy()
+        flipped.flip(l - 1, i)
+        pc2 = hubbard_model.build_matrix(flipped, sigma)
+        expected = init_wrapped(equal_time_greens(pc2, l), hubbard_model)
+        np.testing.assert_allclose(Gw, expected, atol=1e-9)
+
+    def test_two_flips_same_site_restore(self, hubbard_model, hubbard_field, wrapped_setup):
+        """Flip twice at the same site: Gw returns to the original."""
+        i, sigma = 2, -1
+        h0 = int(hubbard_field.h[2, i])
+        Gw = wrapped_setup[sigma].copy()
+        g1 = gamma_factor(hubbard_model, h0, sigma)
+        r1 = metropolis_ratio(Gw, i, g1)
+        apply_flip(Gw, i, g1, r1)
+        g2 = gamma_factor(hubbard_model, -h0, sigma)
+        r2 = metropolis_ratio(Gw, i, g2)
+        apply_flip(Gw, i, g2, r2)
+        np.testing.assert_allclose(Gw, wrapped_setup[sigma], atol=1e-9)
+
+
+class TestAdvanceSlice:
+    @pytest.mark.parametrize("sigma", [+1, -1])
+    def test_matches_rebuilt_next_slice(
+        self, hubbard_model, hubbard_field, wrapped_setup, sigma
+    ):
+        l = 3
+        Gw_next = advance_slice(
+            wrapped_setup[sigma], hubbard_model, hubbard_field, l, sigma
+        )
+        pc = hubbard_model.build_matrix(hubbard_field, sigma)
+        expected = init_wrapped(equal_time_greens(pc, l + 1), hubbard_model)
+        np.testing.assert_allclose(Gw_next, expected, atol=1e-9)
+
+    def test_full_cycle_returns(self, hubbard_model, hubbard_field, wrapped_setup):
+        """Advancing L times returns to the starting slice.
+
+        Each advance is a similarity transform with condition ~e^{2 nu},
+        so error grows along the cycle — exactly the drift that nwrap
+        rebuilds bound in the engine.  Tolerance sized accordingly.
+        """
+        sigma, L = +1, hubbard_model.L
+        Gw = wrapped_setup[sigma]
+        for step in range(L):
+            l_next = (3 + step) % L  # 0-based next slice
+            Gw = advance_slice(Gw, hubbard_model, hubbard_field, l_next, sigma)
+        np.testing.assert_allclose(Gw, wrapped_setup[sigma], atol=1e-6)
+
+
+class TestUpdateStats:
+    def test_acceptance_rate(self):
+        s = UpdateStats(proposed=10, accepted=4)
+        assert s.acceptance_rate == 0.4
+
+    def test_empty(self):
+        assert UpdateStats().acceptance_rate == 0.0
+
+    def test_merge(self):
+        s = UpdateStats(5, 2, 1).merge(UpdateStats(5, 3, 0))
+        assert (s.proposed, s.accepted, s.negative_ratios) == (10, 5, 1)

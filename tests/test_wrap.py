@@ -1,0 +1,139 @@
+"""Wrapping (Alg. 2): every pattern grown from seeds vs. the dense oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.bsofi import bsofi
+from repro.core.cls import cls
+from repro.core.patterns import Pattern, Selection
+from repro.core.pcyclic import random_pcyclic
+from repro.core.wrap import _up_down_steps, wrap, wrap_flops
+
+L, N, C = 12, 3, 4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pc = random_pcyclic(L, N, np.random.default_rng(21), scale=0.65)
+    G = np.linalg.inv(pc.to_dense())
+    seeds_by_q = {}
+    for q in range(C):
+        seeds_by_q[q] = bsofi(cls(pc, C, q, num_threads=1))
+    return pc, G, seeds_by_q
+
+
+class TestUpDownSplit:
+    @pytest.mark.parametrize(
+        "c,expected", [(2, (1, 0)), (3, (1, 1)), (4, (2, 1)), (5, (2, 2)), (10, (5, 4))]
+    )
+    def test_split(self, c, expected):
+        assert _up_down_steps(c) == expected
+
+    def test_split_covers_window(self):
+        for c in range(2, 20):
+            up, down = _up_down_steps(c)
+            assert up + down == c - 1
+            assert abs(up - down) <= 1
+
+
+@pytest.mark.parametrize("q", range(C))
+@pytest.mark.parametrize(
+    "pattern",
+    [
+        Pattern.DIAGONAL,
+        Pattern.SUBDIAGONAL,
+        Pattern.COLUMNS,
+        Pattern.ROWS,
+        Pattern.FULL_DIAGONAL,
+    ],
+)
+class TestAllPatterns:
+    def test_matches_dense(self, setup, pattern, q):
+        pc, G, seeds_by_q = setup
+        sel = Selection(pattern, L=L, c=C, q=q)
+        out = wrap(pc, seeds_by_q[q], sel, num_threads=1)
+        assert len(out) == sel.count()
+        assert out.max_relative_error(G) < 1e-8
+
+    def test_threaded_matches_serial(self, setup, pattern, q):
+        pc, _, seeds_by_q = setup
+        sel = Selection(pattern, L=L, c=C, q=q)
+        serial = wrap(pc, seeds_by_q[q], sel, num_threads=1)
+        threaded = wrap(pc, seeds_by_q[q], sel, num_threads=4)
+        for kl in serial:
+            np.testing.assert_array_equal(serial[kl], threaded[kl])
+
+
+class TestColumnsDetail:
+    def test_every_row_present(self, setup):
+        pc, _, seeds_by_q = setup
+        sel = Selection(Pattern.COLUMNS, L=L, c=C, q=1)
+        out = wrap(pc, seeds_by_q[1], sel, num_threads=1)
+        for l in sel.seeds:
+            for k in range(1, L + 1):
+                assert (k, l) in out
+
+    def test_column_accessor_stacks(self, setup):
+        pc, G, seeds_by_q = setup
+        sel = Selection(Pattern.COLUMNS, L=L, c=C, q=0)
+        out = wrap(pc, seeds_by_q[0], sel, num_threads=1)
+        col = out.column(sel.seeds[0])
+        assert col.shape == (L, N, N)
+
+    def test_error_radius_bounded(self, setup):
+        """The split walk keeps every block within ~c/2 applications of a
+        seed: worst error across the column stays near seed accuracy."""
+        pc, G, seeds_by_q = setup
+        sel = Selection(Pattern.COLUMNS, L=L, c=C, q=2)
+        out = wrap(pc, seeds_by_q[2], sel, num_threads=1)
+        assert out.max_relative_error(G) < 1e-9
+
+
+class TestValidation:
+    def test_wrong_seed_shape(self, setup):
+        pc, _, seeds_by_q = setup
+        sel = Selection(Pattern.COLUMNS, L=L, c=C, q=0)
+        bad = seeds_by_q[0][:2, :2]
+        with pytest.raises(ValueError, match="seed grid"):
+            wrap(pc, bad, sel)
+
+    def test_wrong_selection_L(self, setup):
+        pc, _, seeds_by_q = setup
+        sel = Selection(Pattern.COLUMNS, L=24, c=C, q=0)
+        with pytest.raises(ValueError, match="selection L"):
+            wrap(pc, seeds_by_q[0], sel)
+
+
+class TestSubdiagonal:
+    def test_q_zero_skips_L(self, setup):
+        pc, _, seeds_by_q = setup
+        sel = Selection(Pattern.SUBDIAGONAL, L=L, c=C, q=0)
+        out = wrap(pc, seeds_by_q[0], sel, num_threads=1)
+        assert len(out) == L // C - 1
+        assert all(k != L for (k, _) in out)
+
+    def test_q_nonzero_has_b_blocks(self, setup):
+        pc, _, seeds_by_q = setup
+        sel = Selection(Pattern.SUBDIAGONAL, L=L, c=C, q=1)
+        out = wrap(pc, seeds_by_q[1], sel, num_threads=1)
+        assert len(out) == L // C
+
+
+class TestWrapFlops:
+    def test_columns_formula(self):
+        b = 100 // 10
+        assert wrap_flops(100, 64, 10, Pattern.COLUMNS) == 3.0 * (
+            b * 100 - b * b
+        ) * 64**3
+
+    def test_diagonal_free(self):
+        assert wrap_flops(100, 64, 10, Pattern.DIAGONAL) == 0.0
+
+    def test_rows_equals_columns(self):
+        assert wrap_flops(48, 32, 6, Pattern.ROWS) == wrap_flops(
+            48, 32, 6, Pattern.COLUMNS
+        )
+
+    def test_validates_c(self):
+        with pytest.raises(ValueError):
+            wrap_flops(10, 4, 3, Pattern.COLUMNS)
