@@ -19,7 +19,6 @@ Run: ``python benchmarks/exp_a3_trace.py``
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.apps.trace import exact_trace, hutchinson_trace
 from repro.bench.report import Table, banner

@@ -17,7 +17,6 @@ This example
 Run: ``python examples/attractive_pairing.py`` (~30 s serial)
 """
 
-import numpy as np
 
 from repro import DQMC, DQMCConfig, HubbardModel, RectangularLattice
 from repro.dqmc.ed import ExactDiagonalization

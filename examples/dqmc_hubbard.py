@@ -16,7 +16,6 @@ Expected physics at half filling (mu = 0), U = 4, beta = 2:
 Run: ``python examples/dqmc_hubbard.py`` (~20 s serial)
 """
 
-import numpy as np
 
 from repro import DQMC, DQMCConfig, HubbardModel, RectangularLattice
 

@@ -16,7 +16,7 @@ Run: ``python examples/structure_factors.py`` (~1 min serial)
 import numpy as np
 
 from repro import DQMC, DQMCConfig, HubbardModel, RectangularLattice
-from repro.dqmc.fourier import from_distance_classes, lattice_momenta, structure_factor_grid
+from repro.dqmc.fourier import from_distance_classes, structure_factor_grid
 
 LAT = RectangularLattice(4, 4)
 

@@ -51,8 +51,15 @@ from .hubbard import (
     build_hubbard_matrix,
 )
 from .core.solve import PCyclicSolver, determinant
-from .parallel import HybridConfig, SimMPI, run_fsi_fleet
+from .parallel import HybridConfig, SimMPI, run_fsi_fleet, run_selected_fleet
 from .perf import FlopTracer
+from .service import (
+    GreensJob,
+    GreensService,
+    JobResult,
+    ModelSpec,
+    ServiceConfig,
+)
 from .tridiag import BlockTridiagonal, fsi_tridiagonal
 
 __version__ = "1.0.0"
@@ -64,14 +71,19 @@ __all__ = [
     "DQMCResult",
     "FSIResult",
     "FlopTracer",
+    "GreensJob",
+    "GreensService",
     "HSField",
     "HubbardModel",
     "HybridConfig",
+    "JobResult",
+    "ModelSpec",
     "PCyclicSolver",
     "Pattern",
     "RectangularLattice",
     "SelectedInversion",
     "Selection",
+    "ServiceConfig",
     "SimMPI",
     "BlockTridiagonal",
     "bsofi",
@@ -86,6 +98,7 @@ __all__ = [
     "random_pcyclic",
     "recommend_c",
     "run_fsi_fleet",
+    "run_selected_fleet",
     "wrap",
     "__version__",
 ]

@@ -8,10 +8,9 @@ modeled Edison numbers.
 
 from __future__ import annotations
 
+import statistics
 import time
-from dataclasses import dataclass
-
-import numpy as np
+from dataclasses import dataclass, field
 
 from ..core.baselines import lu_selected_inversion
 from ..core.fsi import fsi
@@ -25,7 +24,16 @@ __all__ = ["TimedRun", "run_fsi", "run_lu_baseline", "run_explicit_baseline"]
 
 @dataclass(frozen=True)
 class TimedRun:
-    """Measured facts about one algorithm execution."""
+    """Measured facts about one algorithm execution.
+
+    With ``repeats > 1`` the run is re-executed and ``seconds`` is the
+    *minimum* over the repeats (the standard noise-resistant statistic
+    for short benchmarks: the fastest run is the one least disturbed by
+    the OS); ``seconds_median`` is the median, and ``all_seconds``
+    retains every per-repeat timing.  Flops and stage attribution come
+    from the final repeat — the algorithms are deterministic, so the
+    counts are identical across repeats.
+    """
 
     label: str
     seconds: float
@@ -33,26 +41,60 @@ class TimedRun:
     stage_flops: dict[str, float]
     stage_seconds: dict[str, float]
     result: object
+    all_seconds: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.all_seconds:
+            object.__setattr__(self, "all_seconds", (self.seconds,))
+
+    @property
+    def repeats(self) -> int:
+        return len(self.all_seconds)
+
+    @property
+    def seconds_median(self) -> float:
+        """Median wall seconds over the repeats."""
+        return statistics.median(self.all_seconds)
 
     @property
     def gflops(self) -> float:
-        """Achieved rate on *this* machine (not Edison)."""
+        """Achieved rate on *this* machine (not Edison), from the best run."""
         return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
 
 
-def _timed(label: str, fn) -> TimedRun:
-    with FlopTracer() as tr:
-        t0 = time.perf_counter()
-        result = fn()
-        seconds = time.perf_counter() - t0
+def _timed(label: str, fn, repeats: int = 1, warmup: int = 0) -> TimedRun:
+    """Time ``fn`` ``repeats`` times after ``warmup`` discarded runs.
+
+    Single-shot timings are noisy (BLAS thread spin-up, page faults,
+    turbo states); service benchmarks compare against these baselines
+    and need them stable, hence min/median over repeats.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    timings: list[float] = []
+    result = None
+    tr = FlopTracer()
+    for rep in range(repeats):
+        # Only the last repeat is traced: tracing accumulates, and we
+        # want the flop count of exactly one execution.
+        tr = FlopTracer()
+        with tr:
+            t0 = time.perf_counter()
+            result = fn()
+            timings.append(time.perf_counter() - t0)
     summary = tr.summary()
     return TimedRun(
         label=label,
-        seconds=seconds,
+        seconds=min(timings),
         flops=tr.total_flops,
         stage_flops={k: v["flops"] for k, v in summary.items()},
         stage_seconds={k: v["seconds"] for k, v in summary.items()},
         result=result,
+        all_seconds=tuple(timings),
     )
 
 
@@ -62,21 +104,43 @@ def run_fsi(
     pattern: Pattern = Pattern.COLUMNS,
     q: int = 1,
     num_threads: int | None = 1,
+    repeats: int = 1,
+    warmup: int = 0,
 ) -> TimedRun:
-    """One traced FSI execution."""
+    """One traced FSI execution (min/median over ``repeats``)."""
     return _timed(
         "fsi",
         lambda: fsi(pc, c, pattern=pattern, q=q, num_threads=num_threads),
+        repeats=repeats,
+        warmup=warmup,
     )
 
 
-def run_lu_baseline(pc: BlockPCyclic, selection: Selection) -> TimedRun:
+def run_lu_baseline(
+    pc: BlockPCyclic,
+    selection: Selection,
+    repeats: int = 1,
+    warmup: int = 0,
+) -> TimedRun:
     """The dense DGETRF/DGETRI baseline on the same selection."""
-    return _timed("lu", lambda: lu_selected_inversion(pc, selection))
+    return _timed(
+        "lu",
+        lambda: lu_selected_inversion(pc, selection),
+        repeats=repeats,
+        warmup=warmup,
+    )
 
 
-def run_explicit_baseline(pc: BlockPCyclic, columns: list[int]) -> TimedRun:
+def run_explicit_baseline(
+    pc: BlockPCyclic,
+    columns: list[int],
+    repeats: int = 1,
+    warmup: int = 0,
+) -> TimedRun:
     """The explicit-form (Eq. (3)) baseline for block columns."""
     return _timed(
-        "explicit", lambda: explicit_selected_columns(pc, columns)
+        "explicit",
+        lambda: explicit_selected_columns(pc, columns),
+        repeats=repeats,
+        warmup=warmup,
     )

@@ -10,14 +10,23 @@ Two tiers:
 * **bench scale** — proportionally shrunk geometries that keep every
   code path hot while running in seconds on a laptop; used by the
   wall-clock pytest benchmarks.
+
+This module also hosts the **service load generator**: synthetic
+streams of :class:`~repro.service.job.GreensJob` requests with a
+controlled duplicate fraction and Poisson or bursty arrival processes,
+plus a closed-loop driver (:func:`run_job_stream`) that replays a
+stream against a live :class:`~repro.service.scheduler.GreensService`
+and reports throughput/latency/cache numbers.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.patterns import Pattern
 from ..core.pcyclic import BlockPCyclic
 from ..hubbard.hs_field import HSField
 from ..hubbard.lattice import RectangularLattice
@@ -32,6 +41,10 @@ __all__ = [
     "BENCH_MEDIUM",
     "make_hubbard",
     "square_lattice_for",
+    "make_job_stream",
+    "arrival_times",
+    "run_job_stream",
+    "StreamReport",
 ]
 
 
@@ -89,3 +102,174 @@ def make_hubbard(
     )
     field = HSField.random(w.L, model.N, np.random.default_rng(seed))
     return model.build_matrix(field, sigma), model, field
+
+
+# ----------------------------------------------------------------------
+# service load generation
+# ----------------------------------------------------------------------
+
+def make_job_stream(
+    w: Workload,
+    n_jobs: int,
+    duplicate_fraction: float = 0.0,
+    pattern: Pattern = Pattern.DIAGONAL,
+    seed: int = 0,
+    sigma: int = +1,
+):
+    """A list of ``n_jobs`` :class:`GreensJob`\\ s over workload ``w``.
+
+    ``duplicate_fraction`` of the stream re-requests earlier jobs
+    (uniformly chosen), modelling measurement sweeps that revisit
+    configurations; duplicates are interleaved through the stream so
+    both coalescing (duplicate while original in flight) and cache hits
+    (duplicate after completion) occur under load.
+    """
+    from ..service.job import GreensJob, ModelSpec
+
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise ValueError(
+            f"duplicate_fraction must be in [0, 1), got {duplicate_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    spec = ModelSpec(
+        nx=w.nx, ny=w.ny, L=w.L, t=w.t, U=w.U, beta=w.beta, sigma=sigma
+    )
+    n_unique = max(1, round(n_jobs * (1.0 - duplicate_fraction)))
+    uniques = [
+        GreensJob.from_field(
+            spec,
+            HSField.random(w.L, spec.N, rng),
+            c=w.c,
+            pattern=pattern,
+            q=int(rng.integers(0, w.c)),
+        )
+        for _ in range(n_unique)
+    ]
+    stream = list(uniques)
+    while len(stream) < n_jobs:
+        stream.append(uniques[int(rng.integers(0, n_unique))])
+    # Shuffle so duplicates land both near their twin (coalescing while
+    # the original is in flight) and far from it (cache hits).
+    order = rng.permutation(len(stream))
+    return [stream[i] for i in order]
+
+
+def arrival_times(
+    n: int,
+    kind: str = "poisson",
+    rate: float = 100.0,
+    burst_size: int = 8,
+    seed: int = 0,
+) -> list[float]:
+    """Arrival offsets (seconds from stream start) for ``n`` requests.
+
+    * ``"poisson"`` — exponential inter-arrival at ``rate`` req/s (the
+      open-loop heavy-traffic model);
+    * ``"burst"`` — bursts of ``burst_size`` back-to-back requests,
+      bursts themselves Poisson at ``rate / burst_size``;
+    * ``"closed"`` — all zeros: submit as fast as the client loop runs.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    rng = np.random.default_rng(seed)
+    if kind == "closed":
+        return [0.0] * n
+    if kind == "poisson":
+        gaps = rng.exponential(1.0 / rate, size=n)
+        return np.cumsum(gaps).tolist()
+    if kind == "burst":
+        burst_rate = rate / burst_size
+        times: list[float] = []
+        t = 0.0
+        while len(times) < n:
+            t += float(rng.exponential(1.0 / burst_rate))
+            times.extend([t] * min(burst_size, n - len(times)))
+        return times
+    raise ValueError(f"unknown arrival kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Closed-loop driver output: throughput + latency + cache facts."""
+
+    n_jobs: int
+    n_unique: int
+    completed: int
+    failed: int
+    elapsed_seconds: float
+    throughput: float          # completed jobs / wall second
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    cache_hit_rate: float
+    executions: int
+    coalesced: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.completed}/{self.n_jobs} jobs"
+            f" ({self.n_unique} unique, {self.failed} failed) in"
+            f" {self.elapsed_seconds:.2f}s = {self.throughput:7.1f} jobs/s |"
+            f" p50 {self.latency_p50 * 1e3:.1f} ms"
+            f" p95 {self.latency_p95 * 1e3:.1f} ms"
+            f" p99 {self.latency_p99 * 1e3:.1f} ms |"
+            f" cache {self.cache_hit_rate * 100:.1f}%"
+            f" | {self.executions} executions, {self.coalesced} coalesced"
+        )
+
+
+def run_job_stream(
+    service,
+    jobs,
+    arrivals: list[float] | None = None,
+    time_scale: float = 1.0,
+    result_timeout: float = 300.0,
+) -> StreamReport:
+    """Replay a job stream against a live service (closed loop).
+
+    Submits each job at its arrival offset (scaled by ``time_scale``;
+    pass 0 to fire the whole stream as one burst), then blocks until
+    every ticket resolves.  Failures (shed/rejected/timeout) are
+    counted, not raised — a load generator must survive the shedding it
+    provokes.
+    """
+    from ..service.errors import ServiceError
+
+    t_start = time.perf_counter()
+    tickets = []
+    failed = 0
+    for i, job in enumerate(jobs):
+        if arrivals is not None and time_scale > 0:
+            target = t_start + arrivals[i] * time_scale
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+        try:
+            tickets.append(service.submit(job))
+        except ServiceError:
+            failed += 1
+    completed = 0
+    for ticket in tickets:
+        try:
+            ticket.result(timeout=result_timeout)
+            completed += 1
+        except Exception:
+            failed += 1
+    elapsed = time.perf_counter() - t_start
+
+    stats = service.stats()
+    lat = stats["latency_seconds"]
+    return StreamReport(
+        n_jobs=len(jobs),
+        n_unique=len({j.fingerprint for j in jobs}),
+        completed=completed,
+        failed=failed,
+        elapsed_seconds=elapsed,
+        throughput=completed / elapsed if elapsed > 0 else 0.0,
+        latency_p50=lat["p50"],
+        latency_p95=lat["p95"],
+        latency_p99=lat["p99"],
+        cache_hit_rate=stats["cache"]["hit_rate"],
+        executions=stats["executions"],
+        coalesced=stats["coalesced"],
+    )

@@ -10,8 +10,15 @@ Commands:
 * ``tridiag`` — exercise the block tridiagonal extension (selected
   inversion vs dense oracle at chosen size);
 * ``trace`` — compare exact vs Hutchinson trace estimation;
+* ``serve`` — run the Green's-function service under a synthetic load
+  stream, printing periodic metric reports;
+* ``submit`` — submit one job to a fresh service instance (twice, to
+  demonstrate the cache) and print the result summary;
 * ``experiments`` — regenerate every paper table/figure (delegates to
   the ``benchmarks/exp_*`` scripts' library entry points).
+
+Every command returns a non-zero exit code when its internal
+validation fails, so shell pipelines and CI can gate on correctness.
 """
 
 from __future__ import annotations
@@ -67,9 +74,16 @@ def _cmd_dqmc(args: argparse.Namespace) -> int:
         f" beta={args.beta}: {res.sweeps} sweeps in {dt:.1f}s,"
         f" acceptance {res.acceptance_rate:.3f}"
     )
+    ok = np.isfinite(res.acceptance_rate) and 0.0 <= res.acceptance_rate <= 1.0
     for name in ("density", "double_occupancy", "kinetic_energy", "local_moment"):
         mean, err = res.observable(name)
         print(f"  {name:18s} = {float(mean):+.4f} +- {float(err):.4f}")
+        if not (np.isfinite(float(mean)) and np.isfinite(float(err))):
+            ok = False
+    if not ok:
+        print("FAIL: non-finite observables or invalid acceptance rate",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -81,17 +95,38 @@ def _cmd_fsi(args: argparse.Namespace) -> int:
     M, _, _ = build_hubbard_matrix(
         args.nx, args.nx, L=args.slices, U=args.U, beta=args.beta, rng=args.seed
     )
-    f = run_fsi(M, args.c, Pattern.COLUMNS, q=1)
-    e = run_explicit_baseline(M, [args.c * i - 1 for i in range(1, M.L // args.c + 1)])
-    l = run_lu_baseline(M, Selection(Pattern.COLUMNS, L=M.L, c=args.c, q=1))
-    print(f"(N, L, c) = ({M.N}, {M.L}, {args.c}), b block columns:")
+    f = run_fsi(M, args.c, Pattern.COLUMNS, q=1,
+                repeats=args.repeats, warmup=args.warmup)
+    e = run_explicit_baseline(
+        M,
+        [args.c * i - 1 for i in range(1, M.L // args.c + 1)],
+        repeats=args.repeats,
+        warmup=args.warmup,
+    )
+    l = run_lu_baseline(M, Selection(Pattern.COLUMNS, L=M.L, c=args.c, q=1),
+                        repeats=args.repeats, warmup=args.warmup)
+    print(f"(N, L, c) = ({M.N}, {M.L}, {args.c}), b block columns"
+          f" (min of {args.repeats}):")
     for run in (f, e, l):
         print(
             f"  {run.label:9s} {run.seconds * 1e3:9.2f} ms"
+            f" (median {run.seconds_median * 1e3:9.2f} ms)"
             f"  {run.flops:.3e} flops  {run.gflops:6.2f} Gflop/s"
         )
     print(f"  FSI speedup: {e.seconds / f.seconds:.1f}x vs explicit,"
           f" {l.seconds / f.seconds:.1f}x vs dense LU")
+    # Internal validation: FSI and the explicit form computed the same
+    # block columns — they must agree to numerical precision.
+    worst = 0.0
+    for kl, ref in e.result.items():
+        diff = float(np.abs(f.result.selected[kl] - ref).max())
+        scale = float(np.abs(ref).max()) or 1.0
+        worst = max(worst, diff / scale)
+    print(f"  max relative |FSI - explicit| = {worst:.3e}")
+    if not (worst < 1e-8):
+        print("FAIL: FSI disagrees with the explicit-form oracle",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -139,7 +174,11 @@ def _cmd_tridiag(args: argparse.Namespace) -> int:
     print(f"  FSI pipeline : {t_fsi * 1e3:8.2f} ms")
     print(f"  RGF sweep    : {t_rgf * 1e3:8.2f} ms")
     print(f"  max |FSI - RGF| over the diagonal: {err:.3e}")
-    return 0 if err < 1e-8 else 1
+    if not (err < 1e-8):
+        print("FAIL: tridiagonal FSI disagrees with the RGF oracle",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -159,6 +198,113 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"  Hutchinson n={n:4d}: {r.estimate:12.6f}"
             f" +- {r.stderr:8.4f}  (|err| {r.error_vs(exact):8.4f})"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.bench.workloads import (
+        Workload,
+        arrival_times,
+        make_job_stream,
+        run_job_stream,
+    )
+    from repro.core.patterns import Pattern
+    from repro.service import BackpressurePolicy, GreensService, ServiceConfig
+
+    w = Workload(
+        "serve", nx=args.nx, ny=args.nx, L=args.slices, c=args.c,
+        U=args.U, beta=args.beta,
+    )
+    jobs = make_job_stream(
+        w,
+        args.jobs,
+        duplicate_fraction=args.duplicates,
+        pattern=Pattern(args.pattern),
+        seed=args.seed,
+    )
+    arrivals = arrival_times(
+        len(jobs), kind=args.arrival, rate=args.rate,
+        burst_size=args.burst_size, seed=args.seed,
+    )
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        backpressure=BackpressurePolicy(args.backpressure),
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        batch_max=args.batch_max,
+        job_timeout=args.job_timeout,
+    )
+    print(
+        f"serving {len(jobs)} jobs ({args.duplicates * 100:.0f}% duplicates,"
+        f" {args.arrival} arrivals) on {config.workers} workers..."
+    )
+    service = GreensService(config)
+    stop = threading.Event()
+
+    def reporter() -> None:
+        while not stop.wait(args.report_every):
+            print(service.report())
+
+    thread = threading.Thread(target=reporter, daemon=True)
+    thread.start()
+    try:
+        report = run_job_stream(
+            service, jobs, arrivals=arrivals, time_scale=args.time_scale
+        )
+    finally:
+        stop.set()
+        thread.join()
+        service.shutdown(drain=True)
+    print(service.report())
+    print(report.summary())
+    if report.failed and not args.allow_failures:
+        print(f"FAIL: {report.failed} jobs failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core.patterns import Pattern
+    from repro.hubbard.hs_field import HSField
+    from repro.service import (
+        GreensJob,
+        GreensService,
+        ModelSpec,
+        ServiceConfig,
+        ServiceError,
+    )
+
+    spec = ModelSpec(
+        nx=args.nx, ny=args.nx, L=args.slices, U=args.U, beta=args.beta
+    )
+    field = HSField.random(spec.L, spec.N, np.random.default_rng(args.seed))
+    job = GreensJob.from_field(
+        spec, field, c=args.c, pattern=Pattern(args.pattern), q=args.q
+    )
+    print(f"job {job!r}")
+    with GreensService(ServiceConfig(workers=1, fleet_ranks=1)) as svc:
+        try:
+            first = svc.submit(job).result(timeout=args.timeout)
+            again = svc.submit(job)
+            second = again.result(timeout=args.timeout)
+        except ServiceError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        norm = sum(float(np.abs(b).sum()) for b in first.blocks.values())
+        print(
+            f"  {len(first.blocks)} blocks, {first.nbytes} bytes,"
+            f" {first.flops:.3e} flops in {first.exec_seconds * 1e3:.2f} ms"
+        )
+        print(f"  sum |G| over selection = {norm:.6f}")
+        print(
+            f"  resubmit: cache_hit={again.cache_hit}"
+            f" (hit rate {svc.stats()['cache']['hit_rate'] * 100:.0f}%)"
+        )
+        if not (again.cache_hit and second.fingerprint == first.fingerprint):
+            print("FAIL: resubmission did not hit the cache", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -223,6 +369,10 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--U", type=float, default=2.0)
     f.add_argument("--beta", type=float, default=1.0)
     f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats (reports min/median)")
+    f.add_argument("--warmup", type=int, default=1,
+                   help="discarded warmup runs before timing")
     f.set_defaults(func=_cmd_fsi)
 
     t = sub.add_parser("tune", help="pick the best hybrid configuration")
@@ -248,6 +398,54 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--seed", type=int, default=0)
     tr.set_defaults(func=_cmd_trace)
 
+    from repro.core.patterns import Pattern
+    from repro.service.queue import BackpressurePolicy
+
+    patterns = [pat.value for pat in Pattern]
+
+    s = sub.add_parser("serve", help="run the Green's-function service"
+                                     " under synthetic load")
+    s.add_argument("--nx", type=int, default=3)
+    s.add_argument("--slices", type=int, default=8)
+    s.add_argument("--c", type=int, default=4)
+    s.add_argument("--U", type=float, default=2.0)
+    s.add_argument("--beta", type=float, default=1.0)
+    s.add_argument("--pattern", choices=patterns, default="diagonal")
+    s.add_argument("--jobs", type=int, default=60)
+    s.add_argument("--duplicates", type=float, default=0.3,
+                   help="fraction of the stream that repeats earlier jobs")
+    s.add_argument("--workers", type=int, default=2)
+    s.add_argument("--queue-capacity", type=int, default=256)
+    s.add_argument("--backpressure",
+                   choices=[pol.value for pol in BackpressurePolicy],
+                   default="block")
+    s.add_argument("--cache-mb", type=int, default=64)
+    s.add_argument("--batch-max", type=int, default=4)
+    s.add_argument("--job-timeout", type=float, default=None)
+    s.add_argument("--arrival", choices=("poisson", "burst", "closed"),
+                   default="poisson")
+    s.add_argument("--rate", type=float, default=200.0,
+                   help="mean arrival rate (requests/second)")
+    s.add_argument("--burst-size", type=int, default=8)
+    s.add_argument("--time-scale", type=float, default=1.0,
+                   help="0 submits the whole stream as one burst")
+    s.add_argument("--report-every", type=float, default=2.0)
+    s.add_argument("--allow-failures", action="store_true")
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_serve)
+
+    sb = sub.add_parser("submit", help="submit one job to a fresh service")
+    sb.add_argument("--nx", type=int, default=3)
+    sb.add_argument("--slices", type=int, default=8)
+    sb.add_argument("--c", type=int, default=4)
+    sb.add_argument("--U", type=float, default=2.0)
+    sb.add_argument("--beta", type=float, default=1.0)
+    sb.add_argument("--pattern", choices=patterns, default="columns")
+    sb.add_argument("--q", type=int, default=0)
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--timeout", type=float, default=120.0)
+    sb.set_defaults(func=_cmd_submit)
+
     e = sub.add_parser("experiments", help="regenerate paper tables/figures")
     e.set_defaults(func=_cmd_experiments)
     return p
@@ -255,7 +453,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Bad parameter combinations (c not dividing L, q out of range,
+        # duplicate fraction outside [0, 1), ...) are user errors, not
+        # crashes: report them cleanly instead of with a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..perf.tracer import current_tracers
 from . import _kernels as kr
-from .patterns import Pattern, SelectedInversion, Selection
+from .patterns import SelectedInversion, Selection
 from .pcyclic import BlockPCyclic
 
 __all__ = [

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..perf.tracer import FlopTracer, current_tracers
+from ..perf.tracer import current_tracers
 from .adjacency import AdjacencyOps
 from .bsofi import bsofi, bsofi_flops
 from .cls import cls, cls_flops

@@ -22,7 +22,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..hubbard.lattice import RectangularLattice
-from ..hubbard.matrix import HubbardModel
 
 __all__ = [
     "density_density",

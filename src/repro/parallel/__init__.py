@@ -1,6 +1,13 @@
 """Hybrid parallel runtime: SimMPI ranks + OpenMP-style threads."""
 
-from .hybrid import HybridConfig, HybridReport, run_fsi_fleet
+from .hybrid import (
+    FleetJobOutput,
+    FleetMatrixError,
+    HybridConfig,
+    HybridReport,
+    run_fsi_fleet,
+    run_selected_fleet,
+)
 from .openmp import (
     ThreadTeam,
     chunk_ranges,
@@ -16,6 +23,8 @@ __all__ = [
     "ANY_TAG",
     "CommStats",
     "Communicator",
+    "FleetJobOutput",
+    "FleetMatrixError",
     "HybridConfig",
     "HybridReport",
     "RankError",
@@ -26,5 +35,6 @@ __all__ = [
     "parallel_for",
     "parallel_map",
     "run_fsi_fleet",
+    "run_selected_fleet",
     "set_max_threads",
 ]

@@ -23,16 +23,36 @@ checked against the analytic model.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
-from ..core.patterns import Pattern
+from ..core.patterns import Pattern, Selection
 from ..hubbard.hs_field import HSField
 from ..hubbard.matrix import HubbardModel
+from ..perf.tracer import FlopTracer
 from .simmpi import CommStats, Communicator, SimMPI
 
-__all__ = ["HybridConfig", "HybridReport", "run_fsi_fleet", "rank_work"]
+__all__ = [
+    "HybridConfig",
+    "HybridReport",
+    "FleetMatrixError",
+    "FleetJobOutput",
+    "run_fsi_fleet",
+    "run_selected_fleet",
+    "rank_work",
+]
+
+
+class FleetMatrixError(RuntimeError):
+    """A per-matrix failure inside a fleet, annotated with the *global*
+    matrix index so operators know which unit of work to replay."""
+
+    def __init__(self, matrix_index: int, original: BaseException):
+        super().__init__(f"fleet matrix {matrix_index} failed: {original!r}")
+        self.matrix_index = matrix_index
+        self.original = original
 
 
 @dataclass(frozen=True)
@@ -137,19 +157,22 @@ def rank_work(
     local: dict[str, float] = {}
     peak = 0
     for it in range(hi - lo):
-        buf = my_h[it]
-        field = HSField.from_buffer(buf, L, N)
-        pc = model.build_matrix(field, cfg.sigma)
         # Key the q draw by the *global* matrix index so results are
         # identical for any rank decomposition of the same workload.
         global_index = lo + it
-        res = fsi(
-            pc,
-            cfg.c,
-            pattern=cfg.pattern,
-            rng=np.random.default_rng((cfg.seed, global_index)),
-            num_threads=cfg.threads_per_rank,
-        )
+        try:
+            buf = my_h[it]
+            hs = HSField.from_buffer(buf, L, N)
+            pc = model.build_matrix(hs, cfg.sigma)
+            res = fsi(
+                pc,
+                cfg.c,
+                pattern=cfg.pattern,
+                rng=np.random.default_rng((cfg.seed, global_index)),
+                num_threads=cfg.threads_per_rank,
+            )
+        except Exception as exc:
+            raise FleetMatrixError(global_index, exc) from exc
         meas = _measure_selected(res.selected, N)
         for key, value in meas.items():
             local[key] = local.get(key, 0.0) + value
@@ -169,6 +192,109 @@ def rank_work(
         total["peak_bytes"] = peak_all
         return total
     return local
+
+
+@dataclass
+class FleetJobOutput:
+    """One matrix's selected blocks + accounting from a selected fleet."""
+
+    selection: Selection
+    blocks: dict[tuple[int, int], np.ndarray]
+    flops: float = 0.0
+    stage_flops: dict[str, float] = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+def _bounds(n: int, size: int, rank: int) -> tuple[int, int]:
+    """Block distribution ``[lo, hi)`` of ``n`` items over ``size`` ranks."""
+    base, rem = divmod(n, size)
+    lo = rank * base + min(rank, rem)
+    return lo, lo + base + (1 if rank < rem else 0)
+
+
+def _selected_rank_work(
+    comm: Communicator,
+    model: HubbardModel,
+    jobs: Sequence[tuple[np.ndarray, int, Pattern, int]],
+    threads_per_rank: int,
+    sigma: int,
+) -> list[FleetJobOutput] | None:
+    """Rank body of :func:`run_selected_fleet` (scatter/compute/gather)."""
+    from ..core.fsi import fsi  # deferred: see rank_work
+
+    L, N = model.L, model.N
+    lo, _ = _bounds(len(jobs), comm.size, comm.rank)
+    if comm.rank == 0:
+        batches = [
+            list(jobs[slice(*_bounds(len(jobs), comm.size, r))])
+            for r in range(comm.size)
+        ]
+    else:
+        batches = None
+    mine = comm.scatter(batches, root=0)
+
+    outs: list[tuple[int, FleetJobOutput]] = []
+    for offset, (buf, c, pattern, q) in enumerate(mine):
+        global_index = lo + offset
+        try:
+            hs = HSField.from_buffer(np.asarray(buf).reshape(-1), L, N)
+            pc = model.build_matrix(hs, sigma)
+            with FlopTracer() as tracer:
+                t0 = time.perf_counter()
+                res = fsi(pc, c, pattern=pattern, q=q,
+                          num_threads=threads_per_rank)
+                elapsed = time.perf_counter() - t0
+        except Exception as exc:
+            raise FleetMatrixError(global_index, exc) from exc
+        outs.append(
+            (
+                global_index,
+                FleetJobOutput(
+                    selection=res.selection,
+                    blocks=dict(res.selected.items()),
+                    flops=tracer.total_flops,
+                    stage_flops={n_: tracer.flops(n_) for n_ in tracer.stages},
+                    seconds=elapsed,
+                ),
+            )
+        )
+    gathered = comm.gather(outs, root=0)
+    if comm.rank != 0:
+        return None
+    assert gathered is not None
+    flat = sorted(
+        (item for rank_items in gathered for item in rank_items),
+        key=lambda pair: pair[0],
+    )
+    return [out for _, out in flat]
+
+
+def run_selected_fleet(
+    model: HubbardModel,
+    jobs: Sequence[tuple[np.ndarray, int, Pattern, int]],
+    n_ranks: int,
+    threads_per_rank: int = 1,
+    sigma: int = +1,
+) -> list[FleetJobOutput]:
+    """Compute selected inversions for *given* ``(h, c, pattern, q)`` jobs.
+
+    Unlike :func:`run_fsi_fleet` (Alg. 3 proper, which reduces scalar
+    measurements and never moves Green's functions), this fleet gathers
+    each job's selected blocks back to the root — it is the execution
+    engine behind the service layer's micro-batching, where callers
+    need the blocks themselves.  Jobs are distributed blockwise over
+    ``n_ranks`` SimMPI ranks; results come back in submission order.
+    """
+    if not jobs:
+        return []
+    n_ranks = max(1, min(n_ranks, len(jobs)))
+    world = SimMPI(n_ranks)
+    results = world.run(
+        _selected_rank_work, model, list(jobs), threads_per_rank, sigma
+    )
+    root = results[0]
+    assert root is not None
+    return root
 
 
 def run_fsi_fleet(model: HubbardModel, cfg: HybridConfig) -> HybridReport:

@@ -41,12 +41,30 @@ ANY_TAG = -1
 
 
 class RankError(RuntimeError):
-    """An exception raised inside a rank function, annotated with the rank."""
+    """An exception raised inside a rank function, annotated with the rank.
 
-    def __init__(self, rank: int, original: BaseException):
-        super().__init__(f"rank {rank} failed: {original!r}")
+    ``stats`` carries the world's partial :class:`CommStats` at teardown
+    — the message/byte tallies the surviving ranks had accumulated when
+    the job was aborted — so post-mortems can see how far the exchange
+    got before the failure.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        original: BaseException,
+        stats: "CommStats | None" = None,
+    ):
+        msg = f"rank {rank} failed: {original!r}"
+        if stats is not None:
+            msg += (
+                f" [partial comm: {stats.total_messages} messages,"
+                f" {stats.total_bytes} bytes]"
+            )
+        super().__init__(msg)
         self.rank = rank
         self.original = original
+        self.stats = stats
 
 
 @dataclass
@@ -464,8 +482,8 @@ class SimMPI:
         ]
         if primary:
             rank, exc = primary[0]
-            raise RankError(rank, exc) from exc
+            raise RankError(rank, exc, stats=self.stats) from exc
         if secondary:  # pragma: no cover - only if abort raced oddly
             rank, exc = secondary[0]
-            raise RankError(rank, exc) from exc
+            raise RankError(rank, exc, stats=self.stats) from exc
         return results

@@ -1,0 +1,66 @@
+"""repro.service — a batched, cached Green's-function computation service.
+
+A production-shaped serving layer over the FSI core: content-addressed
+jobs (:mod:`job`), a bounded priority queue with configurable
+backpressure (:mod:`queue`), request coalescing + micro-batching into
+SimMPI fleets (:mod:`scheduler`), a recycling process worker pool with
+timeouts and crash retry (:mod:`workers`), a byte-budgeted LRU result
+cache (:mod:`cache`) and serving metrics (:mod:`metrics`).
+
+Quickstart::
+
+    from repro.service import (
+        GreensJob, GreensService, ModelSpec, ServiceConfig,
+    )
+    from repro import HSField, Pattern
+
+    spec = ModelSpec(nx=6, ny=6, L=32)
+    field = HSField.random(spec.L, spec.N, rng=0)
+    job = GreensJob.from_field(spec, field, c=4, pattern=Pattern.COLUMNS)
+
+    with GreensService(ServiceConfig(workers=2)) as svc:
+        blocks = svc.submit(job).result().blocks
+"""
+
+from .cache import CacheStats, LRUResultCache
+from .errors import (
+    JobFailedError,
+    JobSheddedError,
+    JobTimeoutError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    WorkerCrashError,
+)
+from .job import GreensJob, JobResult, ModelSpec
+from .metrics import Counter, Histogram, ServiceMetrics
+from .queue import BackpressurePolicy, BoundedPriorityQueue, QueueEntry
+from .scheduler import GreensService, JobTicket, ServiceConfig
+from .workers import WorkerPool, execute_batch, execute_job
+
+__all__ = [
+    "BackpressurePolicy",
+    "BoundedPriorityQueue",
+    "CacheStats",
+    "Counter",
+    "GreensJob",
+    "GreensService",
+    "Histogram",
+    "JobFailedError",
+    "JobResult",
+    "JobSheddedError",
+    "JobTicket",
+    "JobTimeoutError",
+    "LRUResultCache",
+    "ModelSpec",
+    "QueueEntry",
+    "QueueFullError",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "WorkerCrashError",
+    "WorkerPool",
+    "execute_batch",
+    "execute_job",
+]

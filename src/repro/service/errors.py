@@ -1,0 +1,49 @@
+"""Typed failures of the Green's-function service.
+
+Every way a :class:`~repro.service.scheduler.GreensService` can decline
+or lose a job maps to one exception class, so callers can distinguish
+"retry later" (:class:`QueueFullError`, :class:`JobSheddedError`) from
+"the computation itself failed" (:class:`JobFailedError` and its
+subclasses) from "the service is going away"
+(:class:`ServiceClosedError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "QueueFullError",
+    "JobSheddedError",
+    "ServiceClosedError",
+    "JobFailedError",
+    "JobTimeoutError",
+    "WorkerCrashError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for every service-layer failure."""
+
+
+class QueueFullError(ServiceError):
+    """Admission refused: the queue is at capacity (REJECT policy)."""
+
+
+class JobSheddedError(ServiceError):
+    """A queued job was evicted to admit higher-priority work."""
+
+
+class ServiceClosedError(ServiceError):
+    """Submitted to (or queued in) a service that is shutting down."""
+
+
+class JobFailedError(ServiceError):
+    """The computation raised; the original exception is ``__cause__``."""
+
+
+class JobTimeoutError(JobFailedError):
+    """The job exceeded its execution deadline and was cancelled."""
+
+
+class WorkerCrashError(JobFailedError):
+    """A worker process died (repeatedly) while running the job."""

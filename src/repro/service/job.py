@@ -1,0 +1,234 @@
+"""The service job model: content-addressed Green's-function requests.
+
+A DQMC Green's function is fully determined by the static model
+parameters plus the Hubbard–Stratonovich field ``h`` (see
+:mod:`repro.hubbard.hs_field`), and an FSI call is further pinned down
+by ``(c, pattern, q)``.  :class:`GreensJob` packages exactly that data —
+nothing derived, nothing mutable — so two requests for the same physics
+are *byte-identical* and hash to the same **fingerprint**.  The
+fingerprint is a SHA-256 over a canonical little-endian encoding, never
+Python's randomised ``hash()``, so it is stable across processes,
+interpreter restarts and machines; the scheduler uses it for request
+coalescing and the result cache uses it as the key.
+
+Jobs are plain frozen dataclasses of scalars + ``bytes``, so they
+pickle cheaply across the process-pool boundary (the field buffer is
+``L*N`` int8 — the same unit Alg. 3 ships over MPI).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from ..core.patterns import Pattern, Selection
+from ..hubbard.hs_field import HSField
+from ..hubbard.lattice import RectangularLattice
+from ..hubbard.matrix import HubbardModel
+
+__all__ = ["ModelSpec", "GreensJob", "JobResult"]
+
+#: Bump when the canonical encoding changes — keeps stale cache entries
+#: from ever colliding with fingerprints of a newer layout.
+_FINGERPRINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static Hubbard-model parameters, in service-wire form.
+
+    A hashable, picklable mirror of :class:`~repro.hubbard.matrix.
+    HubbardModel` restricted to what the service needs to rebuild the
+    model inside a worker process.
+    """
+
+    nx: int
+    ny: int
+    L: int
+    t: float = 1.0
+    U: float = 2.0
+    beta: float = 1.0
+    mu: float = 0.0
+    sigma: int = +1
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError(f"lattice {self.nx}x{self.ny} must be >= 1x1")
+        if self.L < 1:
+            raise ValueError(f"L must be >= 1, got {self.L}")
+        if self.sigma not in (+1, -1):
+            raise ValueError(f"sigma must be +1 or -1, got {self.sigma}")
+
+    @property
+    def N(self) -> int:
+        return self.nx * self.ny
+
+    @classmethod
+    def from_model(cls, model: HubbardModel, sigma: int = +1) -> "ModelSpec":
+        """Derive a spec from a live model (scalar ``mu`` only)."""
+        if np.ndim(model.mu) != 0:
+            raise ValueError(
+                "site-dependent mu is not supported by the service job model"
+            )
+        return cls(
+            nx=model.lattice.nx,
+            ny=model.lattice.ny,
+            L=model.L,
+            t=model.t,
+            U=model.U,
+            beta=model.beta,
+            mu=float(model.mu),
+            sigma=sigma,
+        )
+
+    def build_model(self) -> HubbardModel:
+        """Materialise the :class:`HubbardModel` (e.g. inside a worker)."""
+        return HubbardModel(
+            RectangularLattice(self.nx, self.ny),
+            L=self.L,
+            t=self.t,
+            U=self.U,
+            beta=self.beta,
+            mu=self.mu,
+        )
+
+    def encode(self) -> bytes:
+        """Canonical little-endian encoding (fingerprint input)."""
+        return struct.pack(
+            "<5i4d",
+            _FINGERPRINT_VERSION,
+            self.nx,
+            self.ny,
+            self.L,
+            self.sigma,
+            self.t,
+            self.U,
+            self.beta,
+            self.mu,
+        )
+
+
+@dataclass(frozen=True)
+class GreensJob:
+    """One selected-inversion request: model + field + ``(c, pattern, q)``.
+
+    ``h`` is the flat int8 HS-field buffer (:meth:`HSField.to_buffer`
+    bytes) — the compact wire unit of Alg. 3.  ``q`` must be concrete:
+    the randomised-``q`` convention of the paper happens at submission
+    time (see :meth:`from_field`), never inside the service, so that a
+    job's identity is deterministic.
+    """
+
+    spec: ModelSpec
+    h: bytes
+    c: int
+    pattern: Pattern = Pattern.DIAGONAL
+    q: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pattern, Pattern):
+            raise TypeError(f"pattern must be a Pattern, got {self.pattern!r}")
+        if not isinstance(self.h, bytes):
+            raise TypeError("h must be the raw bytes of an int8 HS buffer")
+        if self.c < 1 or self.spec.L % self.c != 0:
+            raise ValueError(
+                f"c={self.c} must be a positive divisor of L={self.spec.L}"
+            )
+        if not 0 <= self.q <= self.c - 1:
+            raise ValueError(f"q={self.q} must lie in [0, {self.c - 1}]")
+        if len(self.h) != self.spec.L * self.spec.N:
+            raise ValueError(
+                f"h has {len(self.h)} entries, expected"
+                f" L*N = {self.spec.L * self.spec.N}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_field(
+        cls,
+        spec: ModelSpec,
+        field: HSField,
+        c: int,
+        pattern: Pattern = Pattern.DIAGONAL,
+        q: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "GreensJob":
+        """Build a job from a live field; draw ``q`` here if not given."""
+        if q is None:
+            q = int(np.random.default_rng(rng).integers(0, c))
+        return cls(
+            spec=spec,
+            h=field.to_buffer().tobytes(),
+            c=c,
+            pattern=pattern,
+            q=q,
+        )
+
+    def field(self) -> HSField:
+        """Rebuild the HS field from the wire buffer."""
+        return HSField.from_buffer(
+            np.frombuffer(self.h, dtype=np.int8), self.spec.L, self.spec.N
+        )
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content-addressed identity: SHA-256 hex over the canonical
+        encoding of everything that determines the result."""
+        digest = hashlib.sha256()
+        digest.update(self.spec.encode())
+        digest.update(struct.pack("<2i", self.c, self.q))
+        digest.update(self.pattern.value.encode())
+        digest.update(self.h)
+        return digest.hexdigest()
+
+    @property
+    def compat_key(self) -> tuple:
+        """Micro-batching compatibility: jobs sharing this key differ
+        only in the HS field and ``q`` and can run as one fleet."""
+        return (self.spec, self.c, self.pattern)
+
+    @property
+    def selection(self) -> Selection:
+        return Selection(self.pattern, L=self.spec.L, c=self.c, q=self.q)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GreensJob({self.spec.nx}x{self.spec.ny}, L={self.spec.L},"
+            f" c={self.c}, {self.pattern.value}, q={self.q},"
+            f" fp={self.fingerprint[:12]})"
+        )
+
+
+@dataclass
+class JobResult:
+    """Computed selected blocks plus execution accounting.
+
+    ``blocks`` is keyed by 1-based ``(k, l)`` exactly like
+    :class:`~repro.core.patterns.SelectedInversion`; ``stage_flops``
+    carries the per-stage :class:`~repro.perf.tracer.FlopTracer`
+    summary from the worker so service metrics can attribute flops to
+    CLS/BSOFI/WRP without re-tracing.
+    """
+
+    fingerprint: str
+    selection: Selection
+    blocks: dict[tuple[int, int], np.ndarray]
+    flops: float = 0.0
+    stage_flops: dict[str, float] = field(default_factory=dict)
+    exec_seconds: float = 0.0
+    computed_at: float = field(default_factory=time.time)
+
+    @property
+    def nbytes(self) -> int:
+        """Cache accounting: bytes held by the selected blocks."""
+        return sum(b.nbytes for b in self.blocks.values())
+
+    def block(self, k: int, l: int) -> np.ndarray:
+        """Fetch block ``(k, l)`` (1-based, as selected)."""
+        return self.blocks[(k, l)]

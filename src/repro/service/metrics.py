@@ -1,0 +1,208 @@
+"""Service metrics: counters, latency histograms, periodic reports.
+
+The primitives mirror what a production serving stack exports —
+monotonic :class:`Counter`\\ s and bounded-reservoir :class:`Histogram`\\ s
+with p50/p95/p99 — and they interoperate with the repo's existing flop
+accounting: workers run under a :class:`~repro.perf.tracer.FlopTracer`
+and ship its per-stage summary back with each result, which
+:meth:`ServiceMetrics.absorb_stage_flops` folds into the service-wide
+totals.  ``stats()`` returns one nested snapshot dict (cheap, lockless
+reads of consistent values) and :meth:`ServiceMetrics.report` renders
+the human text block the ``serve`` CLI prints periodically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Counter", "Histogram", "ServiceMetrics"]
+
+
+class Counter:
+    """A thread-safe monotonic counter."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self._value})"
+
+
+class Histogram:
+    """Sliding-reservoir histogram with exact percentiles over the tail.
+
+    Keeps the most recent ``capacity`` observations (enough for stable
+    p99 at service scale without unbounded memory) plus exact running
+    count/sum/min/max over *all* observations.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._values: list[float] = []
+        self._next = 0  # ring-buffer write position once full
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            if len(self._values) < self._capacity:
+                self._values.append(value)
+            else:
+                self._values[self._next] = value
+                self._next = (self._next + 1) % self._capacity
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile of the retained reservoir (0 when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self._values:
+                return 0.0
+            ordered = sorted(self._values)
+            rank = (len(ordered) - 1) * p / 100.0
+            lo = int(rank)
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = rank - lo
+            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """count/mean/min/max plus the standard latency percentiles."""
+        with self._lock:
+            empty = not self._values
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": 0.0 if empty else self.min,
+            "max": 0.0 if empty else self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class ServiceMetrics:
+    """All counters/histograms of one :class:`GreensService` instance."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        # request lifecycle
+        self.submitted = Counter()
+        self.completed = Counter()
+        self.failed = Counter()
+        self.cache_hits = Counter()
+        self.cache_misses = Counter()
+        self.coalesced = Counter()
+        self.shed = Counter()
+        self.rejected = Counter()
+        # execution
+        self.executions = Counter()   # FSI computations actually run
+        self.batches = Counter()
+        self.retries = Counter()
+        self.timeouts = Counter()
+        # latencies (seconds)
+        self.latency = Histogram()      # submit -> ticket resolved
+        self.queue_wait = Histogram()   # submit -> dispatched
+        self.exec_time = Histogram()    # worker-side execution
+        self.batch_size = Histogram()
+        # flop accounting (FlopTracer interop)
+        self._stage_flops: dict[str, float] = {}
+        self._flops_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def absorb_stage_flops(self, stage_flops: dict[str, float]) -> None:
+        """Fold a worker's ``FlopTracer`` per-stage summary into totals."""
+        with self._flops_lock:
+            for stage, flops in stage_flops.items():
+                self._stage_flops[stage] = (
+                    self._stage_flops.get(stage, 0.0) + float(flops)
+                )
+
+    @property
+    def total_flops(self) -> float:
+        with self._flops_lock:
+            return sum(self._stage_flops.values())
+
+    def stage_flops(self) -> dict[str, float]:
+        with self._flops_lock:
+            return dict(self._stage_flops)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One consistent-enough snapshot of every metric."""
+        total_lookups = self.cache_hits.value + self.cache_misses.value
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "submitted": self.submitted.value,
+            "completed": self.completed.value,
+            "failed": self.failed.value,
+            "coalesced": self.coalesced.value,
+            "shed": self.shed.value,
+            "rejected": self.rejected.value,
+            "executions": self.executions.value,
+            "batches": self.batches.value,
+            "retries": self.retries.value,
+            "timeouts": self.timeouts.value,
+            "cache": {
+                "hits": self.cache_hits.value,
+                "misses": self.cache_misses.value,
+                "hit_rate": (
+                    self.cache_hits.value / total_lookups if total_lookups else 0.0
+                ),
+            },
+            "latency_seconds": self.latency.snapshot(),
+            "queue_wait_seconds": self.queue_wait.snapshot(),
+            "exec_seconds": self.exec_time.snapshot(),
+            "batch_size": self.batch_size.snapshot(),
+            "flops": {"total": self.total_flops, "stages": self.stage_flops()},
+        }
+
+    def report(self, queue_depth: int | None = None) -> str:
+        """Human-readable text block (the periodic ``serve`` report)."""
+        s = self.stats()
+        lat, cache = s["latency_seconds"], s["cache"]
+        lines = [
+            f"service up {s['uptime_seconds']:.1f}s:"
+            f" submitted={s['submitted']} completed={s['completed']}"
+            f" failed={s['failed']} coalesced={s['coalesced']}"
+            f" shed={s['shed']} rejected={s['rejected']}",
+            f"  exec: {s['executions']} runs in {s['batches']} batches"
+            f" (mean batch {s['batch_size']['mean']:.2f}),"
+            f" retries={s['retries']} timeouts={s['timeouts']}",
+            f"  cache: hit rate {cache['hit_rate'] * 100:5.1f}%"
+            f" ({cache['hits']} hits / {cache['misses']} misses)",
+            f"  latency: p50 {lat['p50'] * 1e3:8.2f} ms"
+            f"  p95 {lat['p95'] * 1e3:8.2f} ms"
+            f"  p99 {lat['p99'] * 1e3:8.2f} ms"
+            f"  max {lat['max'] * 1e3:8.2f} ms",
+            f"  flops: {s['flops']['total']:.3e} total "
+            + " ".join(
+                f"{k}={v:.2e}" for k, v in sorted(s["flops"]["stages"].items())
+            ),
+        ]
+        if queue_depth is not None:
+            lines.insert(1, f"  queue depth: {queue_depth}")
+        return "\n".join(lines)

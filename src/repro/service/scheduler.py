@@ -1,0 +1,378 @@
+"""The Green's-function service: queue, coalescing, batching, cache.
+
+:class:`GreensService` turns :func:`repro.core.fsi.fsi` calls into
+schedulable, cacheable, retryable *jobs*:
+
+1. ``submit(job)`` returns a :class:`JobTicket` immediately.  The
+   fingerprint is checked against the result cache (hit: the ticket is
+   resolved on the spot), then against the in-flight table (identical
+   fingerprint already queued or executing: the ticket *coalesces* onto
+   that computation), and only then admitted to the bounded priority
+   queue under the configured backpressure policy.
+2. Dispatcher threads (one per worker process) pop the highest-priority
+   entry plus up to ``batch_max - 1`` *compatible* queued entries (same
+   model/c/pattern — differing only in HS field and ``q``) and execute
+   them as one micro-batch on the process pool; batches of more than
+   one job run as a SimMPI fleet inside the worker
+   (:func:`repro.parallel.hybrid.run_selected_fleet`).
+3. Completion inserts results into the LRU byte-budget cache and
+   resolves every coalesced ticket; failures resolve tickets with the
+   typed errors of :mod:`repro.service.errors`.
+
+``shutdown(drain=True)`` stops admissions, lets the dispatchers empty
+the queue, then reaps the pool; ``drain=False`` fails queued tickets
+with :class:`ServiceClosedError` and cancels outstanding pool work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable
+
+from .cache import CacheStats, LRUResultCache
+from .errors import (
+    JobFailedError,
+    JobSheddedError,
+    JobTimeoutError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+)
+from .job import GreensJob, JobResult
+from .metrics import ServiceMetrics
+from .queue import BackpressurePolicy, BoundedPriorityQueue, QueueEntry
+from .workers import WorkerPool, execute_batch
+
+__all__ = ["ServiceConfig", "JobTicket", "GreensService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable knobs of one :class:`GreensService` instance."""
+
+    workers: int = 2
+    queue_capacity: int = 256
+    backpressure: BackpressurePolicy = BackpressurePolicy.BLOCK
+    cache_bytes: int = 256 * 1024 * 1024
+    batch_max: int = 4
+    batch_window: float = 0.0
+    job_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    fleet_ranks: int = 2
+    threads_per_rank: int = 1
+    task_fn: Callable = dataclass_field(default=execute_batch)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+class JobTicket:
+    """A submitted job's handle: blocks on :meth:`result`, never on submit.
+
+    One computation can back many tickets (coalescing); each ticket gets
+    its own latency accounting from its own submission time.
+    """
+
+    def __init__(self, fingerprint: str, submitted_at: float):
+        self.fingerprint = fingerprint
+        self.submitted_at = submitted_at
+        self.cache_hit = False
+        self.coalesced = False
+        self.resolved_at: float | None = None
+        self._event = threading.Event()
+        self._result: JobResult | None = None
+        self._error: BaseException | None = None
+
+    # -- completion (service side) -------------------------------------
+    def _resolve(self, result: JobResult) -> None:
+        self._result = result
+        self.resolved_at = time.monotonic()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.resolved_at = time.monotonic()
+        self._event.set()
+
+    # -- client side ----------------------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block until resolved; raise the job's typed error on failure."""
+        if not self._event.wait(timeout=timeout):
+            raise TimeoutError(
+                f"ticket {self.fingerprint[:12]} not resolved within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout=timeout):
+            raise TimeoutError("ticket not resolved")
+        return self._error
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-resolution seconds (``None`` while pending)."""
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.submitted_at
+
+
+class GreensService:
+    """A batched, cached, process-parallel Green's-function server.
+
+    Usable as a context manager (drains on exit)::
+
+        with GreensService(ServiceConfig(workers=2)) as svc:
+            ticket = svc.submit(job)
+            blocks = ticket.result().blocks
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.metrics = ServiceMetrics()
+        self.cache = LRUResultCache(cfg.cache_bytes)
+        self._queue = BoundedPriorityQueue(cfg.queue_capacity, cfg.backpressure)
+        self._pool = WorkerPool(
+            cfg.workers,
+            job_timeout=cfg.job_timeout,
+            max_retries=cfg.max_retries,
+            retry_backoff=cfg.retry_backoff,
+            task_fn=cfg.task_fn,
+            fleet_ranks=cfg.fleet_ranks,
+            threads_per_rank=cfg.threads_per_rank,
+            on_retry=lambda _n: self.metrics.retries.inc(),
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, QueueEntry] = {}
+        self._closed = False
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"greens-dispatch-{i}",
+                daemon=True,
+            )
+            for i in range(cfg.workers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "GreensService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown(drain=True)
+
+    # ------------------------------------------------------------------
+    def submit(self, job: GreensJob, priority: int = 0) -> JobTicket:
+        """Admit one job; returns immediately with a ticket.
+
+        Raises :class:`ServiceClosedError` after shutdown and
+        :class:`QueueFullError` when the backpressure policy refuses
+        admission (``REJECT``, or ``SHED_LOWEST`` without a victim).
+        """
+        ticket = JobTicket(job.fingerprint, time.monotonic())
+        self.metrics.submitted.inc()
+
+        cached = self.cache.get(job.fingerprint)
+        if cached is not None:
+            ticket.cache_hit = True
+            self.metrics.cache_hits.inc()
+            ticket._resolve(cached)
+            self.metrics.latency.observe(ticket.latency or 0.0)
+            self.metrics.completed.inc()
+            return ticket
+        self.metrics.cache_misses.inc()
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shut down")
+            entry = self._inflight.get(job.fingerprint)
+            if entry is not None:
+                entry.tickets.append(ticket)
+                ticket.coalesced = True
+                self.metrics.coalesced.inc()
+                return ticket
+            # Re-check the cache under the lock: a completion may have
+            # cached this fingerprint and left the in-flight table
+            # between our miss above and acquiring the lock — without
+            # this, that race would recompute a cached result.
+            cached = self.cache.get(job.fingerprint)
+            if cached is not None:
+                ticket.cache_hit = True
+                self.metrics.cache_hits.inc()
+                ticket._resolve(cached)
+                self.metrics.latency.observe(ticket.latency or 0.0)
+                self.metrics.completed.inc()
+                return ticket
+            entry = QueueEntry(
+                priority=priority,
+                seq=self._queue.next_seq(),
+                job=job,
+                tickets=[ticket],
+            )
+            self._inflight[job.fingerprint] = entry
+
+        shed = None
+        try:
+            shed = self._queue.put(entry)
+        except QueueFullError:
+            with self._lock:
+                self._inflight.pop(job.fingerprint, None)
+            self.metrics.rejected.inc()
+            raise
+        except ServiceClosedError:
+            with self._lock:
+                self._inflight.pop(job.fingerprint, None)
+            raise
+        if shed is not None:
+            self._fail_entry(
+                shed,
+                JobSheddedError(
+                    f"job {shed.job.fingerprint[:12]} (priority"
+                    f" {shed.priority}) shed for priority {priority}"
+                ),
+                counter=self.metrics.shed,
+            )
+        return ticket
+
+    def compute(
+        self, job: GreensJob, priority: int = 0, timeout: float | None = None
+    ) -> JobResult:
+        """Synchronous convenience: ``submit(...).result(...)``."""
+        return self.submit(job, priority=priority).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _fail_entry(
+        self, entry: QueueEntry, error: BaseException, counter=None
+    ) -> None:
+        """Resolve every ticket of a dead entry with ``error``."""
+        with self._lock:
+            current = self._inflight.get(entry.job.fingerprint)
+            if current is entry:
+                del self._inflight[entry.job.fingerprint]
+            tickets = list(entry.tickets)
+        for ticket in tickets:
+            ticket._fail(error)
+            if counter is not None:
+                counter.inc()
+            self.metrics.failed.inc()
+
+    def _complete_entry(self, entry: QueueEntry, result: JobResult) -> None:
+        """Cache the result, then resolve every coalesced ticket.
+
+        Insertion order matters: the result must be in the cache
+        *before* the fingerprint leaves the in-flight table, otherwise
+        a racing submit could find neither and recompute.
+        """
+        self.cache.put(result)
+        with self._lock:
+            self._inflight.pop(entry.job.fingerprint, None)
+            tickets = list(entry.tickets)
+        now = time.monotonic()
+        self.metrics.queue_wait.observe(max(0.0, now - entry.enqueued_at))
+        for ticket in tickets:
+            ticket._resolve(result)
+            self.metrics.latency.observe(ticket.latency or 0.0)
+            self.metrics.completed.inc()
+
+    def _dispatch_loop(self) -> None:
+        cfg = self.config
+        while True:
+            batch = self._queue.get_batch(
+                max_batch=cfg.batch_max,
+                compat_key=lambda job: job.compat_key,
+                batch_window=cfg.batch_window,
+            )
+            if batch is None:
+                return  # closed and drained
+            jobs = [entry.job for entry in batch]
+            self.metrics.batches.inc()
+            self.metrics.batch_size.observe(len(jobs))
+            try:
+                results = self._pool.run_batch(jobs)
+            except ServiceError as exc:
+                if isinstance(exc, JobTimeoutError):
+                    self.metrics.timeouts.inc()
+                for entry in batch:
+                    self._fail_entry(entry, exc)
+                continue
+            except Exception as exc:  # worker-side computation error
+                wrapped = JobFailedError(f"batch execution failed: {exc!r}")
+                wrapped.__cause__ = exc
+                for entry in batch:
+                    self._fail_entry(entry, wrapped)
+                continue
+            self.metrics.executions.inc(len(jobs))
+            for entry, result in zip(batch, results):
+                self.metrics.exec_time.observe(result.exec_seconds)
+                self.metrics.absorb_stage_flops(result.stage_flops)
+                self._complete_entry(entry, result)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service-wide snapshot: metrics + queue depth + cache stats."""
+        cache = self.cache.stats()
+        data = self.metrics.stats()
+        data["queue_depth"] = len(self._queue)
+        data["inflight"] = len(self._inflight)
+        data["cache"].update(
+            {
+                "entries": cache.entries,
+                "bytes_used": cache.bytes_used,
+                "bytes_budget": cache.bytes_budget,
+                "evictions": cache.evictions,
+            }
+        )
+        return data
+
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats()
+
+    def report(self) -> str:
+        return self.metrics.report(queue_depth=len(self._queue))
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop the service.
+
+        ``drain=True`` finishes everything already queued (new submits
+        are refused immediately); ``drain=False`` fails queued tickets
+        with :class:`ServiceClosedError` and cancels pool work.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            self._queue.close()
+            for thread in self._dispatchers:
+                thread.join(timeout=timeout)
+            self._pool.shutdown(wait=True)
+        else:
+            for entry in self._queue.drain():
+                self._fail_entry(entry, ServiceClosedError("service shut down"))
+            self._queue.close()
+            # Tear the pool down first: dispatchers blocked on pool
+            # futures only unblock once the work is cancelled.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            for thread in self._dispatchers:
+                thread.join(timeout=timeout)

@@ -1,0 +1,235 @@
+"""Process-based execution of Green's-function jobs.
+
+NumPy's BLAS releases the GIL, but the surrounding Python (matrix
+assembly, block bookkeeping, wrapping loops) does not — a process pool
+is the first layer of this codebase that escapes it entirely.  The pool
+wraps :class:`concurrent.futures.ProcessPoolExecutor` with the three
+behaviours a serving layer cannot live without:
+
+* **per-batch timeouts** — a wedged worker surfaces as a typed
+  :class:`~repro.service.errors.JobTimeoutError` instead of a hang, and
+  the pool is recycled to reclaim the stuck process;
+* **bounded retry with exponential backoff** — a crashed worker
+  (``BrokenProcessPool``: OOM-killed child, segfaulted BLAS, ...)
+  triggers pool recycling and resubmission up to ``max_retries`` times
+  before the failure is reported as
+  :class:`~repro.service.errors.WorkerCrashError`;
+* **graceful shutdown** — in-flight work completes before the pool is
+  torn down unless cancellation is requested.
+
+Worker-side entry points (:func:`execute_job`, :func:`execute_batch`)
+are module-level functions of picklable arguments.  Each runs under a
+:class:`~repro.perf.tracer.FlopTracer` and returns the per-stage flop
+summary with the blocks, so the service can aggregate CLS/BSOFI/WRP
+rates without re-tracing.  Batches of more than one compatible job run
+as a SimMPI fleet (:func:`repro.parallel.hybrid.run_selected_fleet`) —
+the same Alg. 3 machinery the offline driver uses, now inside one
+worker process.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    TimeoutError as _FutureTimeout,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+from ..perf.tracer import FlopTracer
+from .errors import JobTimeoutError, ServiceClosedError, WorkerCrashError
+from .job import GreensJob, JobResult
+
+__all__ = ["execute_job", "execute_batch", "crash_once_task", "WorkerPool"]
+
+
+def execute_job(job: GreensJob, num_threads: int | None = None) -> JobResult:
+    """Rebuild the model + field and run one traced FSI (worker side)."""
+    from ..core.fsi import fsi  # worker-side import, keeps module load light
+
+    model = job.spec.build_model()
+    pc = model.build_matrix(job.field(), job.spec.sigma)
+    with FlopTracer() as tracer:
+        t0 = time.perf_counter()
+        res = fsi(pc, job.c, pattern=job.pattern, q=job.q, num_threads=num_threads)
+        elapsed = time.perf_counter() - t0
+    return JobResult(
+        fingerprint=job.fingerprint,
+        selection=res.selection,
+        blocks=dict(res.selected.items()),
+        flops=tracer.total_flops,
+        stage_flops={name: tracer.flops(name) for name in tracer.stages},
+        exec_seconds=elapsed,
+    )
+
+
+def execute_batch(
+    jobs: Sequence[GreensJob],
+    fleet_ranks: int = 1,
+    threads_per_rank: int = 1,
+) -> list[JobResult]:
+    """Run a batch of *compatible* jobs (same ``compat_key``) in one worker.
+
+    A single job (or ``fleet_ranks <= 1``) runs inline; larger batches
+    are distributed over a SimMPI fleet so compatible requests share the
+    rank/thread machinery of Alg. 3.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if len({j.compat_key for j in jobs}) != 1:
+        raise ValueError("execute_batch requires jobs sharing one compat_key")
+    n_ranks = min(fleet_ranks, len(jobs))
+    if n_ranks <= 1:
+        return [execute_job(job, num_threads=threads_per_rank) for job in jobs]
+
+    from ..parallel.hybrid import run_selected_fleet
+
+    model = jobs[0].spec.build_model()
+    outputs = run_selected_fleet(
+        model,
+        [(job.field().h, job.c, job.pattern, job.q) for job in jobs],
+        n_ranks=n_ranks,
+        threads_per_rank=threads_per_rank,
+        sigma=jobs[0].spec.sigma,
+    )
+    return [
+        JobResult(
+            fingerprint=job.fingerprint,
+            selection=out.selection,
+            blocks=out.blocks,
+            flops=out.flops,
+            stage_flops=out.stage_flops,
+            exec_seconds=out.seconds,
+        )
+        for job, out in zip(jobs, outputs)
+    ]
+
+
+def crash_once_task(
+    jobs: Sequence[GreensJob],
+    fleet_ranks: int = 1,
+    threads_per_rank: int = 1,
+    marker_path: str | None = None,
+) -> list[JobResult]:
+    """Chaos-testing task: SIGKILL this worker once, then behave normally.
+
+    The first call for a given ``marker_path`` creates the marker file
+    and kills the worker process mid-job (exactly what an OOM kill looks
+    like to the pool); subsequent calls — i.e. the retry on the recycled
+    pool — delegate to :func:`execute_batch`.  Used by the crash-recovery
+    tests and by operational fire drills.
+    """
+    if marker_path is not None and not os.path.exists(marker_path):
+        with open(marker_path, "w") as fh:
+            fh.write(str(os.getpid()))
+        os.kill(os.getpid(), 9)
+    return execute_batch(jobs, fleet_ranks, threads_per_rank)
+
+
+class WorkerPool:
+    """A recycling ``ProcessPoolExecutor`` with timeout + crash retry.
+
+    ``task_fn`` is the picklable batch entry point (defaults to
+    :func:`execute_batch`); tests and chaos drills substitute
+    :func:`crash_once_task` or a slow variant.  All public methods are
+    thread-safe — the scheduler calls :meth:`run_batch` from several
+    dispatcher threads against the one shared pool.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        job_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        task_fn: Callable[..., list[JobResult]] = execute_batch,
+        fleet_ranks: int = 1,
+        threads_per_rank: int = 1,
+        on_retry: Callable[[int], None] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self._task_fn = task_fn
+        self._fleet_ranks = fleet_ranks
+        self._threads_per_rank = threads_per_rank
+        self._on_retry = on_retry
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._closed = False
+        self._executor = ProcessPoolExecutor(max_workers=workers)
+
+    # ------------------------------------------------------------------
+    def _current(self) -> tuple[ProcessPoolExecutor, int]:
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("worker pool is shut down")
+            return self._executor, self._generation
+
+    def _recycle(self, seen_generation: int) -> None:
+        """Replace a broken/stuck executor exactly once per generation."""
+        with self._lock:
+            if self._closed or self._generation != seen_generation:
+                return  # another thread already recycled (or we're closing)
+            old = self._executor
+            self._generation += 1
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        # Reap the old pool outside the lock; terminate stuck children so
+        # a timed-out job cannot pin a CPU (or the interpreter) forever.
+        for proc in list(getattr(old, "_processes", {}).values()):
+            proc.terminate()
+        old.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def run_batch(self, jobs: Sequence[GreensJob]) -> list[JobResult]:
+        """Execute a batch with timeout/retry; blocks the calling thread."""
+        attempts = 0
+        while True:
+            executor, generation = self._current()
+            try:
+                future = executor.submit(
+                    self._task_fn,
+                    list(jobs),
+                    self._fleet_ranks,
+                    self._threads_per_rank,
+                )
+                return future.result(timeout=self.job_timeout)
+            except _FutureTimeout:
+                self._recycle(generation)
+                raise JobTimeoutError(
+                    f"batch of {len(jobs)} exceeded {self.job_timeout}s"
+                ) from None
+            except (BrokenProcessPool, CancelledError) as exc:
+                # CancelledError: our future was parked on an executor a
+                # sibling thread recycled — same recovery as a crash.
+                attempts += 1
+                self._recycle(generation)
+                if attempts > self.max_retries:
+                    raise WorkerCrashError(
+                        f"batch of {len(jobs)} failed after"
+                        f" {self.max_retries} retries"
+                    ) from exc
+                if self._on_retry is not None:
+                    self._on_retry(attempts)
+                time.sleep(self.retry_backoff * 2 ** (attempts - 1))
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+        if cancel_futures:
+            for proc in list(getattr(executor, "_processes", {}).values()):
+                proc.terminate()
+        executor.shutdown(wait=wait, cancel_futures=cancel_futures)

@@ -107,3 +107,46 @@ class TestTimedRuns:
         f = run_fsi(pc, 4, Pattern.COLUMNS, q=1)
         l = run_lu_baseline(pc, sel)
         assert f.flops < l.flops
+
+
+class TestRepeats:
+    @pytest.fixture(scope="class")
+    def pc(self):
+        pc, _, _ = make_hubbard(
+            Workload("tiny", 2, 2, L=8, c=4, U=2.0, beta=1.0), seed=0
+        )
+        return pc
+
+    def test_repeats_collect_all_timings(self, pc):
+        run = run_fsi(pc, 4, Pattern.COLUMNS, q=1, repeats=5, warmup=1)
+        assert run.repeats == 5
+        assert len(run.all_seconds) == 5
+        # seconds is the min (noise-resistant), median lies between.
+        assert run.seconds == min(run.all_seconds)
+        assert min(run.all_seconds) <= run.seconds_median <= max(run.all_seconds)
+
+    def test_single_run_defaults(self, pc):
+        run = run_fsi(pc, 4, Pattern.COLUMNS, q=1)
+        assert run.repeats == 1
+        assert run.all_seconds == (run.seconds,)
+        assert run.seconds_median == run.seconds
+
+    def test_flops_counted_once(self, pc):
+        """Repeats must not inflate the flop count: tracing covers
+        exactly one execution."""
+        once = run_fsi(pc, 4, Pattern.COLUMNS, q=1)
+        many = run_fsi(pc, 4, Pattern.COLUMNS, q=1, repeats=3, warmup=2)
+        assert many.flops == once.flops
+        assert many.stage_flops == once.stage_flops
+
+    def test_baselines_accept_repeats(self, pc):
+        sel = Selection(Pattern.COLUMNS, L=pc.L, c=4, q=1)
+        lu = run_lu_baseline(pc, sel, repeats=2, warmup=1)
+        ex = run_explicit_baseline(pc, [1, 2], repeats=2)
+        assert lu.repeats == 2 and ex.repeats == 2
+
+    def test_invalid_repeats_rejected(self, pc):
+        with pytest.raises(ValueError, match="repeats"):
+            run_fsi(pc, 4, Pattern.COLUMNS, q=1, repeats=0)
+        with pytest.raises(ValueError, match="warmup"):
+            run_fsi(pc, 4, Pattern.COLUMNS, q=1, warmup=-1)

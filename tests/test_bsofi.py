@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.bsofi import StructuredQR, bsofi, bsofi_flops, bsofi_qr
+from repro.core.bsofi import bsofi, bsofi_flops, bsofi_qr
 from repro.core.pcyclic import BlockPCyclic, random_pcyclic
 from repro.perf.tracer import FlopTracer
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.hubbard.checkerboard import CheckerboardPropagator, bond_groups
-from repro.hubbard.kinetic import KineticPropagator
 from repro.hubbard.lattice import RectangularLattice
 
 

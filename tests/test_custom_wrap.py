@@ -3,7 +3,7 @@ and the strong-scaling model curve."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.custom_wrap import nearest_seed, torus_distance, wrap_blocks

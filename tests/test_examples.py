@@ -38,4 +38,5 @@ def test_all_examples_discovered():
         "structure_factors",
         "disorder_profiles",
         "attractive_pairing",
+        "greens_service",
     } <= names

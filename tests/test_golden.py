@@ -10,7 +10,6 @@ If an *intentional* change alters these values, re-record them with::
     PY
 """
 
-import numpy as np
 import pytest
 
 from repro.dqmc import DQMC, DQMCConfig

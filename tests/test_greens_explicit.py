@@ -13,7 +13,6 @@ from repro.core.greens_explicit import (
     w_matrix,
     z_matrix,
 )
-from repro.core.pcyclic import random_pcyclic
 
 
 class TestChainProduct:

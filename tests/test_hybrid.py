@@ -6,7 +6,14 @@ import pytest
 from repro.core.fsi import fsi
 from repro.core.patterns import Pattern
 from repro.hubbard import HSField, HubbardModel, RectangularLattice
-from repro.parallel.hybrid import HybridConfig, HybridReport, run_fsi_fleet
+from repro.parallel.hybrid import (
+    FleetMatrixError,
+    HybridConfig,
+    HybridReport,
+    run_fsi_fleet,
+    run_selected_fleet,
+)
+from repro.parallel.simmpi import RankError
 
 
 @pytest.fixture(scope="module")
@@ -134,6 +141,75 @@ class TestFleet:
             b.global_measurements["trace_sum"]
         )
 
+class TestSelectedFleet:
+    @staticmethod
+    def jobs_for(model, qs, c=4, pattern=Pattern.DIAGONAL, seed=4):
+        rng = np.random.default_rng(seed)
+        return [
+            (HSField.random(model.L, model.N, rng).h, c, pattern, q)
+            for q in qs
+        ]
+
+    def test_matches_direct_fsi(self, model):
+        jobs = self.jobs_for(model, qs=(0, 1, 2))
+        outs = run_selected_fleet(model, jobs, n_ranks=2)
+        assert len(outs) == len(jobs)
+        for (buf, c, pattern, q), out in zip(jobs, outs):
+            field = HSField.from_buffer(
+                np.asarray(buf).reshape(-1), model.L, model.N
+            )
+            res = fsi(
+                model.build_matrix(field, +1), c, pattern=pattern, q=q,
+                num_threads=1,
+            )
+            assert set(out.blocks) == set(dict(res.selected.items()))
+            for kl, blk in res.selected.items():
+                np.testing.assert_allclose(
+                    out.blocks[kl], blk, rtol=1e-12, atol=1e-12
+                )
+            assert out.flops > 0
+            assert out.seconds > 0
+
+    def test_rank_invariance(self, model):
+        jobs = self.jobs_for(model, qs=(0, 1, 2, 3), seed=6)
+        serial = run_selected_fleet(model, jobs, n_ranks=1)
+        fleet = run_selected_fleet(model, jobs, n_ranks=3)
+        for a, b in zip(serial, fleet):
+            for kl, blk in a.blocks.items():
+                np.testing.assert_allclose(
+                    b.blocks[kl], blk, rtol=1e-12, atol=1e-12
+                )
+
+    def test_failure_reports_global_matrix_index(self, model, monkeypatch):
+        """Regression: a per-matrix failure inside a fleet names the
+        *global* index of the failing matrix, not just the rank."""
+        import importlib
+
+        # `repro.core.fsi` the *submodule* — the package re-exports the
+        # function under the same name, shadowing attribute access.
+        fsi_module = importlib.import_module("repro.core.fsi")
+        real_fsi = fsi_module.fsi
+        poison_q = 3
+
+        def failing_fsi(pc, c, **kwargs):
+            if kwargs.get("q") == poison_q:
+                raise ValueError("injected per-matrix failure")
+            return real_fsi(pc, c, **kwargs)
+
+        monkeypatch.setattr(fsi_module, "fsi", failing_fsi)
+        jobs = self.jobs_for(model, qs=(0, 1, poison_q, 0), seed=7)
+        with pytest.raises(RankError, match="fleet matrix 2") as exc_info:
+            run_selected_fleet(model, jobs, n_ranks=2)
+        err = exc_info.value.original
+        assert isinstance(err, FleetMatrixError)
+        assert err.matrix_index == 2
+        assert isinstance(err.original, ValueError)
+
+    def test_empty_jobs(self, model):
+        assert run_selected_fleet(model, [], n_ranks=2) == []
+
+
+class TestMemory:
     def test_peak_memory_plausible(self, model):
         from repro.perf.machine import fsi_rank_memory_bytes
 

@@ -102,7 +102,6 @@ class TestExperimentScriptsImportAndRun:
 
     @pytest.fixture(autouse=True)
     def _benchdir(self, monkeypatch):
-        import sys
         from pathlib import Path
 
         bench = Path(__file__).resolve().parent.parent / "benchmarks"

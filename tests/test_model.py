@@ -7,7 +7,6 @@ numbers are recorded in EXPERIMENTS.md; here we assert the bands.
 
 import pytest
 
-from repro.core.patterns import Pattern
 from repro.perf.model import (
     DQMCBreakdown,
     dqmc_runtime,

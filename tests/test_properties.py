@@ -2,14 +2,14 @@
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.adjacency import AdjacencyOps
 from repro.core.bsofi import bsofi
 from repro.core.cls import cls
 from repro.core.patterns import Pattern, Selection, seed_indices
-from repro.core.pcyclic import BlockPCyclic, random_pcyclic, torus_index
+from repro.core.pcyclic import random_pcyclic, torus_index
 from repro.dqmc.stats import jackknife
 from repro.hubbard.hs_field import HSField
 from repro.parallel.openmp import chunk_ranges

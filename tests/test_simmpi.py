@@ -244,6 +244,23 @@ class TestCollectives:
 
 
 class TestStats:
+    def test_rank_error_carries_partial_comm_stats(self):
+        """A failed run reports the communication done up to the crash,
+        so operators can see how far the fleet got."""
+        world = SimMPI(3)
+
+        def main(comm):
+            comm.bcast("payload" if comm.rank == 0 else None)
+            if comm.rank == 2:
+                raise ValueError("mid-run failure")
+
+        with pytest.raises(RankError, match="partial comm") as exc_info:
+            world.run(main)
+        err = exc_info.value
+        assert err.stats is not None
+        assert err.stats.total_messages > 0
+        assert err.stats.messages["bcast"] == 1
+
     def test_message_accounting(self):
         world = SimMPI(3)
 

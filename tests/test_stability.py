@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.pcyclic import BlockPCyclic
 from repro.core.stability import (
     AccuracyPoint,
     cluster_condition_growth,

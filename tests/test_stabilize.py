@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.greens_explicit import equal_time_greens
-from repro.core.pcyclic import BlockPCyclic, random_pcyclic
 from repro.dqmc.stabilize import (
     UDT,
     stable_equal_time,

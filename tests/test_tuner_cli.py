@@ -1,6 +1,5 @@
 """The hybrid auto-tuner and the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -106,3 +105,97 @@ class TestCLI:
         out = capsys.readouterr().out
         assert rc == 0
         assert "Hutchinson" in out and "exact" in out
+
+    def test_serve_command(self, capsys):
+        rc = main(
+            [
+                "serve",
+                "--nx", "2",
+                "--slices", "8",
+                "--c", "4",
+                "--jobs", "10",
+                "--duplicates", "0.3",
+                "--workers", "1",
+                "--arrival", "closed",
+                "--report-every", "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "jobs/s" in out and "cache" in out
+
+    def test_submit_command(self, capsys):
+        rc = main(["submit", "--nx", "2", "--slices", "8", "--c", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cache_hit=True" in out
+
+
+class TestCLIExitCodes:
+    """Internal validation failures must surface as non-zero exits."""
+
+    def test_dqmc_nonfinite_observables_exit_1(self, monkeypatch, capsys):
+        class _BadResult:
+            sweeps = 1
+            acceptance_rate = float("nan")
+
+            def observable(self, name):
+                return float("nan"), float("nan")
+
+        class _FakeDQMC:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def run(self):
+                return _BadResult()
+
+        monkeypatch.setattr("repro.DQMC", _FakeDQMC)
+        rc = main(
+            ["dqmc", "--nx", "3", "--slices", "8", "--c", "4",
+             "--warmup", "0", "--measure", "1"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAIL" in captured.err
+
+    def test_fsi_oracle_mismatch_exit_1(self, monkeypatch, capsys):
+        import dataclasses
+
+        import repro.bench.harness as harness
+
+        real = harness.run_explicit_baseline
+
+        def corrupted(pc, columns, **kwargs):
+            run = real(pc, columns, **kwargs)
+            bad = {kl: blk + 1.0 for kl, blk in run.result.items()}
+            return dataclasses.replace(run, result=bad)
+
+        monkeypatch.setattr(harness, "run_explicit_baseline", corrupted)
+        rc = main(["fsi", "--nx", "3", "--slices", "8", "--c", "4",
+                   "--repeats", "1", "--warmup", "0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAIL" in captured.err
+        assert "explicit" in captured.err
+
+    def test_tridiag_oracle_mismatch_exit_1(self, monkeypatch, capsys):
+        import repro.tridiag as tridiag
+
+        real = tridiag.rgf_diagonal
+
+        def corrupted(J):
+            return [blk + 1.0 for blk in real(J)]
+
+        monkeypatch.setattr(tridiag, "rgf_diagonal", corrupted)
+        rc = main(["tridiag", "--N", "4", "--slices", "8", "--c", "4"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAIL" in captured.err
+        assert "RGF" in captured.err
+
+    def test_fsi_command_reports_repeats(self, capsys):
+        rc = main(["fsi", "--nx", "3", "--slices", "8", "--c", "4",
+                   "--repeats", "2", "--warmup", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "median" in out and "min of 2" in out
