@@ -1,0 +1,181 @@
+"""Telemetry overhead: the disabled path must be (nearly) free.
+
+The contract of :mod:`repro.telemetry` is that instrumentation left in
+hot paths costs a single attribute check when tracing is off.  This
+file measures that contract twice over:
+
+* pytest-benchmark timings of the disabled span path, the enabled span
+  path, and the metric primitives, so regressions show up next to the
+  other wall-clock numbers;
+* a standalone ``--check`` mode (run by CI) that estimates the
+  disabled-path overhead a traced FSI solve pays — spans per solve
+  times per-call cost, relative to the solve itself — and **fails if
+  it exceeds 5%**.
+
+Run the gate locally with::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.bench.workloads import BENCH_SMALL, make_hubbard
+from repro.core.fsi import fsi
+from repro.telemetry.metrics import Counter, Histogram
+
+#: Maximum tolerated disabled-path overhead on one FSI solve.
+OVERHEAD_BUDGET = 0.05
+
+
+def _fresh_disabled():
+    telemetry.reset()
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timings
+# ----------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="telemetry")
+def bench_disabled_span(benchmark):
+    """The hot-path contract: span() with telemetry off."""
+    _fresh_disabled()
+
+    def run():
+        for _ in range(1000):
+            with telemetry.span("hot"):
+                pass
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="telemetry")
+def bench_enabled_span(benchmark):
+    """Full recording path: id generation, clock reads, collection."""
+    telemetry.reset()
+    telemetry.configure(sample_rate=1.0)
+
+    def run():
+        for _ in range(1000):
+            with telemetry.span("hot"):
+                pass
+        telemetry.collector().clear()
+
+    benchmark(run)
+    telemetry.reset()
+
+
+@pytest.mark.benchmark(group="telemetry")
+def bench_counter_inc(benchmark):
+    c = Counter()
+    benchmark(lambda: [c.inc() for _ in range(1000)])
+
+
+@pytest.mark.benchmark(group="telemetry")
+def bench_histogram_observe_snapshot(benchmark):
+    h = Histogram()
+    for i in range(4096):
+        h.observe(float(i))
+
+    def run():
+        for i in range(100):
+            h.observe(float(i))
+        h.snapshot()
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="telemetry")
+def bench_fsi_disabled_telemetry(benchmark, small_problem):
+    """A full solve with instrumentation present but tracing off."""
+    _fresh_disabled()
+    pc, _, _ = small_problem
+    benchmark(lambda: fsi(pc, BENCH_SMALL.c, num_threads=1))
+
+
+# ----------------------------------------------------------------------
+# the CI gate
+# ----------------------------------------------------------------------
+
+def _time_per_call(fn, calls: int, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / calls
+
+
+def measure_overhead() -> dict:
+    """Estimate the disabled-path cost a traced FSI solve pays.
+
+    ``spans_per_solve`` is counted on a real (enabled) solve; the
+    per-call disabled cost and the solve time are both best-of-N, so
+    the estimate is pessimistic for the budget (fast solve, slow
+    spans) rather than flattering.
+    """
+    pc, _, _ = make_hubbard(BENCH_SMALL, seed=1)
+
+    # count the spans one solve emits
+    telemetry.reset()
+    telemetry.configure(sample_rate=1.0)
+    fsi(pc, BENCH_SMALL.c, num_threads=1)
+    spans_per_solve = len(telemetry.collector())
+    telemetry.reset()
+
+    # disabled per-call cost (span entry + exit)
+    calls = 100_000
+
+    def disabled_spans():
+        for _ in range(calls):
+            with telemetry.span("hot"):
+                pass
+
+    per_call = _time_per_call(disabled_spans, calls)
+
+    # the solve itself, telemetry off, warm caches
+    fsi(pc, BENCH_SMALL.c, num_threads=1)
+    solve_seconds = _time_per_call(
+        lambda: fsi(pc, BENCH_SMALL.c, num_threads=1), 1
+    )
+
+    overhead = spans_per_solve * per_call / solve_seconds
+    return {
+        "spans_per_solve": spans_per_solve,
+        "disabled_ns_per_span": per_call * 1e9,
+        "solve_ms": solve_seconds * 1e3,
+        "overhead_fraction": overhead,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero if overhead exceeds {OVERHEAD_BUDGET:.0%}",
+    )
+    args = parser.parse_args(argv)
+
+    stats = measure_overhead()
+    print(
+        f"disabled-path telemetry: {stats['spans_per_solve']} spans/solve"
+        f" x {stats['disabled_ns_per_span']:.0f} ns/span"
+        f" over a {stats['solve_ms']:.2f} ms solve"
+        f" = {stats['overhead_fraction']:.3%} overhead"
+        f" (budget {OVERHEAD_BUDGET:.0%})"
+    )
+    if args.check and stats["overhead_fraction"] > OVERHEAD_BUDGET:
+        print("FAIL: disabled-path overhead exceeds budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

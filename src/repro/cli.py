@@ -201,9 +201,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_wanted(args: argparse.Namespace) -> bool:
+    """Any tracing/metrics flag turns the telemetry subsystem on."""
+    return (
+        getattr(args, "trace_out", None) is not None
+        or getattr(args, "metrics_port", None) is not None
+        or getattr(args, "metrics_file", None) is not None
+    )
+
+
+def _finish_telemetry(args: argparse.Namespace, *registries) -> None:
+    """Flush the trace/metrics outputs the flags asked for."""
+    from repro import telemetry
+
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        n = telemetry.write_chrome_trace(trace_out, telemetry.collector())
+        print(f"wrote {n} spans to {trace_out}")
+    metrics_file = getattr(args, "metrics_file", None)
+    if metrics_file is not None:
+        with open(metrics_file, "w") as fh:
+            fh.write(telemetry.prometheus_text(*registries))
+        print(f"wrote metrics to {metrics_file}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
+    from repro import telemetry
     from repro.bench.workloads import (
         Workload,
         arrival_times,
@@ -212,6 +237,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     from repro.core.patterns import Pattern
     from repro.service import BackpressurePolicy, GreensService, ServiceConfig
+
+    if _telemetry_wanted(args):
+        telemetry.configure(sample_rate=args.trace_sample)
 
     w = Workload(
         "serve", nx=args.nx, ny=args.nx, L=args.slices, c=args.c,
@@ -241,6 +269,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f" {args.arrival} arrivals) on {config.workers} workers..."
     )
     service = GreensService(config)
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = telemetry.MetricsServer(
+            (telemetry.registry(), service.metrics.registry),
+            port=args.metrics_port,
+        )
+        port = metrics_server.start()
+        print(f"metrics on http://127.0.0.1:{port}/metrics")
     stop = threading.Event()
 
     def reporter() -> None:
@@ -257,8 +293,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stop.set()
         thread.join()
         service.shutdown(drain=True)
+        if metrics_server is not None:
+            metrics_server.stop()
     print(service.report())
     print(report.summary())
+    _finish_telemetry(args, telemetry.registry(), service.metrics.registry)
     if report.failed and not args.allow_failures:
         print(f"FAIL: {report.failed} jobs failed", file=sys.stderr)
         return 1
@@ -266,6 +305,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro import telemetry
     from repro.core.patterns import Pattern
     from repro.hubbard.hs_field import HSField
     from repro.service import (
@@ -275,6 +315,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         ServiceConfig,
         ServiceError,
     )
+
+    if _telemetry_wanted(args):
+        telemetry.configure(sample_rate=args.trace_sample)
 
     spec = ModelSpec(
         nx=args.nx, ny=args.nx, L=args.slices, U=args.U, beta=args.beta
@@ -305,6 +348,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if not (again.cache_hit and second.fingerprint == first.fingerprint):
             print("FAIL: resubmission did not hit the cache", file=sys.stderr)
             return 1
+        _finish_telemetry(args, telemetry.registry(), svc.metrics.registry)
     return 0
 
 
@@ -432,6 +476,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--report-every", type=float, default=2.0)
     s.add_argument("--allow-failures", action="store_true")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--trace-out", default=None,
+                   help="write a Chrome trace-event JSON of all spans here")
+    s.add_argument("--trace-sample", type=float, default=1.0,
+                   help="head-based sampling rate for traces (0..1)")
+    s.add_argument("--metrics-port", type=int, default=None,
+                   help="serve Prometheus text on this port (0 = ephemeral)")
+    s.add_argument("--metrics-file", default=None,
+                   help="write a final Prometheus text snapshot here")
     s.set_defaults(func=_cmd_serve)
 
     sb = sub.add_parser("submit", help="submit one job to a fresh service")
@@ -444,6 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--q", type=int, default=0)
     sb.add_argument("--seed", type=int, default=0)
     sb.add_argument("--timeout", type=float, default=120.0)
+    sb.add_argument("--trace-out", default=None,
+                    help="write a Chrome trace-event JSON of all spans here")
+    sb.add_argument("--trace-sample", type=float, default=1.0,
+                    help="head-based sampling rate for traces (0..1)")
+    sb.add_argument("--metrics-file", default=None,
+                    help="write a final Prometheus text snapshot here")
     sb.set_defaults(func=_cmd_submit)
 
     e = sub.add_parser("experiments", help="regenerate paper tables/figures")

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import runtime as _telemetry
 from . import _kernels as kr
 from .pcyclic import BlockPCyclic
 
@@ -196,9 +197,12 @@ def bsofi(pc: BlockPCyclic) -> np.ndarray:
         kr.add_identity(A)
         G = kr.solve(A, np.eye(pc.N, dtype=pc.dtype))
         return G[None, None]
-    f = bsofi_qr(pc)
-    G = _r_inverse(f)
-    return _apply_qt(G, f)
+    with _telemetry.span("bsofi.qr", b=pc.L, N=pc.N):
+        f = bsofi_qr(pc)
+    with _telemetry.span("bsofi.rinv"):
+        G = _r_inverse(f)
+    with _telemetry.span("bsofi.applyqt"):
+        return _apply_qt(G, f)
 
 
 def bsofi_flops(b: int, N: int) -> float:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..parallel.openmp import parallel_for
+from ..telemetry import runtime as _telemetry
 from . import _kernels as kr
 from .pcyclic import BlockPCyclic, torus_index
 
@@ -89,7 +90,8 @@ def cls(
     def body(i0: int) -> None:
         out[i0] = cluster_product(pc, i0 + 1, c, q)
 
-    parallel_for(body, b, num_threads=num_threads)
+    with _telemetry.span("cls.reduce", b=b, c=c, q=q):
+        parallel_for(body, b, num_threads=num_threads)
     return BlockPCyclic(out)
 
 

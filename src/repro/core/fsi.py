@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..perf.tracer import current_tracers
+from ..telemetry import runtime as _telemetry
 from .adjacency import AdjacencyOps
 from .bsofi import bsofi, bsofi_flops
 from .cls import cls, cls_flops
@@ -104,13 +105,18 @@ def fsi(
 
         return contextlib.nullcontext()
 
-    with staged("cls"):
-        reduced = cls(pc, c, q, num_threads=num_threads)
-    with staged("bsofi"):
-        seeds = bsofi(reduced)
-    ops = AdjacencyOps(pc)
-    with staged("wrp"):
-        selected = wrap(pc, seeds, selection, num_threads=num_threads, ops=ops)
+    with _telemetry.span(
+        "fsi", L=L, N=pc.N, c=c, q=q, pattern=pattern.name
+    ):
+        with _telemetry.span("cls"), staged("cls"):
+            reduced = cls(pc, c, q, num_threads=num_threads)
+        with _telemetry.span("bsofi"), staged("bsofi"):
+            seeds = bsofi(reduced)
+        ops = AdjacencyOps(pc)
+        with _telemetry.span("wrp", pattern=pattern.name), staged("wrp"):
+            selected = wrap(
+                pc, seeds, selection, num_threads=num_threads, ops=ops
+            )
     return FSIResult(selected=selected, seeds=seeds, selection=selection, ops=ops)
 
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..parallel.openmp import parallel_for
+from ..telemetry import runtime as _telemetry
 from .adjacency import AdjacencyOps
 from .patterns import Pattern, SelectedInversion, Selection
 from .pcyclic import BlockPCyclic, torus_index
@@ -110,7 +111,8 @@ def wrap(
             g = ops.right(G_seeds[k0 - 1, k0 - 1], k, k)
             results[idx] = (k, g)
 
-        parallel_for(sub_body, len(todo), num_threads=num_threads)
+        with _telemetry.span("wrp.subdiagonal", seeds=len(todo)):
+            parallel_for(sub_body, len(todo), num_threads=num_threads)
         for item in results[: len(todo)]:
             assert item is not None
             k, g = item
@@ -157,7 +159,10 @@ def wrap(
                     ll = torus_index(ll + 1, L)
                     local[(k, ll)] = g
 
-        parallel_for(walk_body, len(tasks), num_threads=num_threads)
+        with _telemetry.span(
+            "wrp.walks", seeds=len(tasks), pattern=pattern.name
+        ):
+            parallel_for(walk_body, len(tasks), num_threads=num_threads)
         for local in chunks:
             out.update(local)
         return SelectedInversion(selection, out, N)
@@ -182,7 +187,8 @@ def wrap(
                 kk = torus_index(kk + 1, L)
                 local[(kk, kk)] = g
 
-        parallel_for(diag_body, b, num_threads=num_threads)
+        with _telemetry.span("wrp.full_diagonal", seeds=b):
+            parallel_for(diag_body, b, num_threads=num_threads)
         for local in chunks:
             out.update(local)
         return SelectedInversion(selection, out, N)

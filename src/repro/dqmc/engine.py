@@ -38,6 +38,7 @@ from ..core.stability import recommend_c
 from ..core.wrap import wrap
 from ..hubbard.hs_field import HSField
 from ..hubbard.matrix import HubbardModel
+from ..telemetry import runtime as _telemetry
 from .delayed import DelayedGreens
 from .measurements import EqualTimeAccumulator, measure_slice
 from .spxx import SPXXResult, spxx
@@ -466,20 +467,24 @@ class DQMC:
         t_sweep = t_greens = t_measure = 0.0
         for _ in range(cfg.warmup_sweeps):
             t0 = time.perf_counter()
-            self.sweep()
+            with _telemetry.span("dqmc.sweep", phase="warmup"):
+                self.sweep()
             t_sweep += time.perf_counter() - t0
         for it in range(cfg.measurement_sweeps):
             t0 = time.perf_counter()
-            self.sweep()
+            with _telemetry.span("dqmc.sweep", phase="measurement", it=it):
+                self.sweep()
             t_sweep += time.perf_counter() - t0
             t0 = time.perf_counter()
-            greens = self.compute_greens()
+            with _telemetry.span("dqmc.greens", it=it):
+                greens = self.compute_greens()
             t_greens += time.perf_counter() - t0
             t0 = time.perf_counter()
             if it % cfg.sign_resync_every == 0:
                 self.resync_sign()
             s = self.config_sign if self.config_sign is not None else 1.0
-            sample = self.measure(greens)
+            with _telemetry.span("dqmc.measure", it=it):
+                sample = self.measure(greens)
             weighted: dict[str, np.ndarray | float] = {
                 name: np.asarray(value, dtype=float) * s
                 for name, value in sample.items()

@@ -32,6 +32,7 @@ from ..core.patterns import Pattern, Selection
 from ..hubbard.hs_field import HSField
 from ..hubbard.matrix import HubbardModel
 from ..perf.tracer import FlopTracer
+from ..telemetry import runtime as _telemetry
 from .simmpi import CommStats, Communicator, SimMPI
 
 __all__ = [
@@ -239,11 +240,12 @@ def _selected_rank_work(
         try:
             hs = HSField.from_buffer(np.asarray(buf).reshape(-1), L, N)
             pc = model.build_matrix(hs, sigma)
-            with FlopTracer() as tracer:
-                t0 = time.perf_counter()
-                res = fsi(pc, c, pattern=pattern, q=q,
-                          num_threads=threads_per_rank)
-                elapsed = time.perf_counter() - t0
+            with _telemetry.span("fleet.job", index=global_index):
+                with FlopTracer() as tracer:
+                    t0 = time.perf_counter()
+                    res = fsi(pc, c, pattern=pattern, q=q,
+                              num_threads=threads_per_rank)
+                    elapsed = time.perf_counter() - t0
         except Exception as exc:
             raise FleetMatrixError(global_index, exc) from exc
         outs.append(
@@ -289,9 +291,13 @@ def run_selected_fleet(
         return []
     n_ranks = max(1, min(n_ranks, len(jobs)))
     world = SimMPI(n_ranks)
-    results = world.run(
-        _selected_rank_work, model, list(jobs), threads_per_rank, sigma
-    )
+    with _telemetry.span(
+        "fleet.selected", jobs=len(jobs), ranks=n_ranks,
+        threads_per_rank=threads_per_rank,
+    ):
+        results = world.run(
+            _selected_rank_work, model, list(jobs), threads_per_rank, sigma
+        )
     root = results[0]
     assert root is not None
     return root
@@ -301,7 +307,10 @@ def run_fsi_fleet(model: HubbardModel, cfg: HybridConfig) -> HybridReport:
     """Launch Alg. 3 on a SimMPI world and aggregate the results."""
     world = SimMPI(cfg.n_ranks)
     t0 = time.perf_counter()
-    results = world.run(rank_work, model, cfg)
+    with _telemetry.span(
+        "fleet.run", matrices=cfg.n_matrices, ranks=cfg.n_ranks
+    ):
+        results = world.run(rank_work, model, cfg)
     elapsed = time.perf_counter() - t0
     root = results[0]
     peak = int(root.pop("peak_bytes"))

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from ..perf import tracer as _tracer
+from ..telemetry.context import current_context, use_context
 
 __all__ = [
     "parallel_for",
@@ -94,15 +95,23 @@ def _run_team(
     """Execute thunks on a transient team, propagating tracer context."""
     if num_threads == 1 or len(tasks) <= 1:
         return [t() for t in tasks]
-    tracers = _tracer.current_tracers()
+    # Capture per-tracer (tracer, active stage) pairs and the ambient
+    # telemetry span context on the forking thread: worker threads must
+    # attribute flops to the stage that spawned them (stage labels are
+    # thread-local) and parent their spans into the caller's trace.
+    tracers = [
+        (tr, tr.current_stage) for tr in _tracer.current_tracers()
+    ]
+    span_ctx = current_context()
 
     def wrapped(task: Callable[[], Any]) -> Any:
         # Adopt the parent's tracer stack on this worker thread.
         import contextlib
 
         with contextlib.ExitStack() as stack:
-            for tr in tracers:
-                stack.enter_context(tr.attach_thread())
+            for tr, stage in tracers:
+                stack.enter_context(tr.attach_thread(stage=stage))
+            stack.enter_context(use_context(span_ctx))
             return task()
 
     with ThreadPoolExecutor(max_workers=min(num_threads, len(tasks))) as ex:

@@ -34,6 +34,9 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..telemetry import runtime as _telemetry
+from ..telemetry.context import current_context, use_context
+
 __all__ = ["SimMPI", "Communicator", "CommStats", "Request", "ANY_SOURCE", "ANY_TAG", "RankError"]
 
 ANY_SOURCE = -1
@@ -79,6 +82,39 @@ class CommStats:
         with self._lock:
             self.messages[op] = self.messages.get(op, 0) + 1
             self.bytes[op] = self.bytes.get(op, 0) + nbytes
+        if _telemetry.enabled():
+            self._record_telemetry(op, nbytes)
+
+    def _record_telemetry(self, op: str, nbytes: int) -> None:
+        """Mirror the tally into the global metric registry.
+
+        Per-op counter children are cached after the first lookup so
+        the enabled path is two dict hits plus two increments.
+        """
+        cache = self.__dict__.get("_registry_children")
+        if cache is None or cache[0] is not _telemetry.registry():
+            registry = _telemetry.registry()
+            cache = (registry, {})
+            self.__dict__["_registry_children"] = cache
+        children = cache[1]
+        pair = children.get(op)
+        if pair is None:
+            registry = cache[0]
+            pair = (
+                registry.counter(
+                    "repro_simmpi_messages_total",
+                    "SimMPI messages by operation",
+                    labels=("op",),
+                ).labels(op=op),
+                registry.counter(
+                    "repro_simmpi_bytes_total",
+                    "SimMPI payload bytes by operation",
+                    labels=("op",),
+                ).labels(op=op),
+            )
+            children[op] = pair
+        pair[0].inc()
+        pair[1].inc(nbytes)
 
     @property
     def total_messages(self) -> int:
@@ -443,11 +479,17 @@ class SimMPI:
         """
         results: list[Any] = [None] * self.size
         errors: list[BaseException | None] = [None] * self.size
+        # Rank threads inherit the launching thread's span context so
+        # every per-rank span lands in the caller's trace.
+        parent_ctx = current_context()
 
         def runner(rank: int) -> None:
             comm = Communicator(rank, self)
             try:
-                results[rank] = main(comm, *args)
+                with use_context(parent_ctx), _telemetry.span(
+                    "simmpi.rank", rank=rank, size=self.size
+                ):
+                    results[rank] = main(comm, *args)
             except _Aborted as exc:
                 # Secondary failure: this rank was blocked on a message
                 # from a rank that already died; not the root cause.

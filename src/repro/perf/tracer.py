@@ -1,193 +1,25 @@
-"""Flop/byte accounting for algorithm stages.
+"""Flop/byte accounting per algorithm stage (compatibility re-export).
 
-The paper's evaluation reports performance *rates* (Gflops/Tflops) per
-algorithm stage (CLS, BSOFI, WRP, measurements).  Since this
-reproduction runs on commodity hardware rather than Edison, we separate
-*what the algorithms do* (exact flop counts, measured here) from *how
-fast Edison would do it* (the machine model in :mod:`repro.perf.model`).
+The implementation moved to :mod:`repro.telemetry.flops` when the
+unified telemetry subsystem landed; this module keeps the historical
+import path working::
 
-Every linear-algebra kernel in :mod:`repro.core._kernels` reports its
-flop count to the innermost active :class:`FlopTracer`, tagged with the
-current *stage* label.  Tracers nest; each tracer sees everything
-executed inside its ``with`` block.
+    from repro.perf.tracer import FlopTracer, current_tracers, record_flops
 
-Usage::
-
-    with FlopTracer() as tr:
-        with tr.stage("cls"):
-            ...
-        with tr.stage("bsofi"):
-            ...
-    tr.flops("cls"), tr.total_flops, tr.elapsed("cls")
+The public API is unchanged, with two behavioural upgrades inherited
+from the new implementation: the active stage label is thread-local
+(concurrent ``stage()`` blocks on different threads no longer race),
+and per-stage flop totals flush into the telemetry metric registry on
+tracer exit when telemetry is enabled.  New code should import from
+:mod:`repro.telemetry` directly.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Iterator
+from repro.telemetry.flops import (  # noqa: F401
+    FlopTracer,
+    current_tracers,
+    record_flops,
+)
 
 __all__ = ["FlopTracer", "current_tracers", "record_flops"]
-
-_local = threading.local()
-
-
-def _stack() -> list["FlopTracer"]:
-    stack = getattr(_local, "stack", None)
-    if stack is None:
-        stack = []
-        _local.stack = stack
-    return stack
-
-
-def current_tracers() -> tuple["FlopTracer", ...]:
-    """The active tracer stack of the calling thread (innermost last)."""
-    return tuple(_stack())
-
-
-def record_flops(flops: float, mem_bytes: float = 0.0) -> None:
-    """Report an operation to every active tracer on this thread.
-
-    Called by the instrumented kernels; a no-op when no tracer is
-    active, so production code pays only an attribute lookup.
-    """
-    for tracer in _stack():
-        tracer._record(flops, mem_bytes)
-
-
-@dataclass
-class _StageStats:
-    flops: float = 0.0
-    mem_bytes: float = 0.0
-    seconds: float = 0.0
-    calls: int = 0
-
-
-class FlopTracer:
-    """Accumulates flops, bytes and wall time per named stage.
-
-    Thread-aware: a tracer entered on one thread can adopt worker
-    threads via :meth:`attach_thread` (used by the OpenMP-style layer so
-    that flops performed inside ``parallel_for`` bodies are credited to
-    the enclosing tracer).
-    """
-
-    def __init__(self) -> None:
-        self._stages: dict[str, _StageStats] = {}
-        self._stage_name = "default"
-        self._lock = threading.Lock()
-        self._entered_at: float | None = None
-        self.total_seconds: float = 0.0
-
-    # -- context management -------------------------------------------
-    def __enter__(self) -> "FlopTracer":
-        _stack().append(self)
-        self._entered_at = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        if self._entered_at is not None:
-            self.total_seconds += time.perf_counter() - self._entered_at
-            self._entered_at = None
-        stack = _stack()
-        if stack and stack[-1] is self:
-            stack.pop()
-        else:  # pragma: no cover - defensive
-            stack.remove(self)
-
-    @contextmanager
-    def attach_thread(self) -> Iterator[None]:
-        """Make this tracer active on the *current* (worker) thread."""
-        _stack().append(self)
-        try:
-            yield
-        finally:
-            stack = _stack()
-            if stack and stack[-1] is self:
-                stack.pop()
-            else:  # pragma: no cover - defensive
-                stack.remove(self)
-
-    @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        """Attribute everything inside the block to stage ``name``.
-
-        Stage labels do not nest semantically: the innermost label wins.
-        Wall time of the block is added to the stage.
-        """
-        prev = self._stage_name
-        self._stage_name = name
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            dt = time.perf_counter() - t0
-            with self._lock:
-                self._stats(name).seconds += dt
-            self._stage_name = prev
-
-    # -- recording ------------------------------------------------------
-    def _stats(self, name: str) -> _StageStats:
-        st = self._stages.get(name)
-        if st is None:
-            st = self._stages[name] = _StageStats()
-        return st
-
-    def _record(self, flops: float, mem_bytes: float) -> None:
-        with self._lock:
-            st = self._stats(self._stage_name)
-            st.flops += flops
-            st.mem_bytes += mem_bytes
-            st.calls += 1
-
-    # -- queries ----------------------------------------------------------
-    @property
-    def stages(self) -> tuple[str, ...]:
-        return tuple(self._stages)
-
-    def flops(self, stage: str | None = None) -> float:
-        """Flops recorded for ``stage`` (or everything when ``None``)."""
-        if stage is None:
-            return self.total_flops
-        st = self._stages.get(stage)
-        return st.flops if st else 0.0
-
-    def mem_bytes(self, stage: str | None = None) -> float:
-        if stage is None:
-            return sum(s.mem_bytes for s in self._stages.values())
-        st = self._stages.get(stage)
-        return st.mem_bytes if st else 0.0
-
-    def elapsed(self, stage: str) -> float:
-        """Wall seconds spent inside ``stage`` blocks."""
-        st = self._stages.get(stage)
-        return st.seconds if st else 0.0
-
-    def calls(self, stage: str) -> int:
-        st = self._stages.get(stage)
-        return st.calls if st else 0
-
-    @property
-    def total_flops(self) -> float:
-        return sum(s.flops for s in self._stages.values())
-
-    def summary(self) -> dict[str, dict[str, float]]:
-        """Per-stage dict of flops / bytes / seconds / calls."""
-        return {
-            name: {
-                "flops": st.flops,
-                "mem_bytes": st.mem_bytes,
-                "seconds": st.seconds,
-                "calls": float(st.calls),
-            }
-            for name, st in self._stages.items()
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        parts = ", ".join(
-            f"{name}={st.flops:.3g}f/{st.seconds:.3g}s"
-            for name, st in self._stages.items()
-        )
-        return f"FlopTracer({parts})"

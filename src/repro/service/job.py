@@ -223,6 +223,11 @@ class JobResult:
     stage_flops: dict[str, float] = field(default_factory=dict)
     exec_seconds: float = 0.0
     computed_at: float = field(default_factory=time.time)
+    #: Telemetry span records collected in the worker process (present
+    #: only when the dispatching request was traced; the scheduler
+    #: drains these into the global collector and clears the field
+    #: before the result is cached).
+    spans: list[dict] = field(default_factory=list)
 
     @property
     def nbytes(self) -> int:

@@ -1,154 +1,124 @@
 """Service metrics: counters, latency histograms, periodic reports.
 
-The primitives mirror what a production serving stack exports —
-monotonic :class:`Counter`\\ s and bounded-reservoir :class:`Histogram`\\ s
-with p50/p95/p99 — and they interoperate with the repo's existing flop
-accounting: workers run under a :class:`~repro.perf.tracer.FlopTracer`
-and ship its per-stage summary back with each result, which
-:meth:`ServiceMetrics.absorb_stage_flops` folds into the service-wide
-totals.  ``stats()`` returns one nested snapshot dict (cheap, lockless
-reads of consistent values) and :meth:`ServiceMetrics.report` renders
-the human text block the ``serve`` CLI prints periodically.
+Since the telemetry subsystem landed, :class:`ServiceMetrics` is a thin
+facade over a :class:`repro.telemetry.MetricRegistry`: every counter
+and histogram is a registered metric family (``repro_jobs_submitted_
+total``, ``repro_request_latency_seconds``, ...), so the same numbers
+that drive :meth:`ServiceMetrics.report` are exposed in Prometheus text
+format by the ``serve`` CLI (``--metrics-port``/``--metrics-file``).
+The attribute API is unchanged — ``metrics.submitted.inc()``,
+``metrics.latency.observe(dt)`` — because label-less families delegate
+to their single child primitive.
+
+The primitives themselves (:class:`Counter`, :class:`Histogram`) are
+re-exported from :mod:`repro.telemetry.metrics`; histogram snapshots
+are computed under a single lock acquisition, so concurrent observers
+can never produce a torn (mutually inconsistent) snapshot.
+
+FlopTracer interop is unchanged: workers run under a
+:class:`~repro.perf.tracer.FlopTracer` and ship its per-stage summary
+back with each result, which :meth:`ServiceMetrics.absorb_stage_flops`
+folds into the ``repro_stage_flops_total{stage=...}`` counter family.
 """
 
 from __future__ import annotations
 
-import threading
 import time
+
+from ..telemetry.metrics import Counter, Histogram, MetricRegistry
 
 __all__ = ["Counter", "Histogram", "ServiceMetrics"]
 
 
-class Counter:
-    """A thread-safe monotonic counter."""
+class ServiceMetrics:
+    """All counters/histograms of one :class:`GreensService` instance.
 
-    def __init__(self) -> None:
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, n: int = 1) -> None:
-        with self._lock:
-            self._value += n
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Counter({self._value})"
-
-
-class Histogram:
-    """Sliding-reservoir histogram with exact percentiles over the tail.
-
-    Keeps the most recent ``capacity`` observations (enough for stable
-    p99 at service scale without unbounded memory) plus exact running
-    count/sum/min/max over *all* observations.
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricRegistry` to register into.  Defaults to a
+        fresh private registry so independent service instances (and
+        tests) never share counts; the ``serve`` CLI passes this
+        registry to the metrics endpoint for scraping.
     """
 
-    def __init__(self, capacity: int = 4096):
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
-        self._capacity = capacity
-        self._values: list[float] = []
-        self._next = 0  # ring-buffer write position once full
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        with self._lock:
-            self.count += 1
-            self.total += value
-            self.min = min(self.min, value)
-            self.max = max(self.max, value)
-            if len(self._values) < self._capacity:
-                self._values.append(value)
-            else:
-                self._values[self._next] = value
-                self._next = (self._next + 1) % self._capacity
-
-    def percentile(self, p: float) -> float:
-        """Exact percentile of the retained reservoir (0 when empty)."""
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        with self._lock:
-            if not self._values:
-                return 0.0
-            ordered = sorted(self._values)
-            rank = (len(ordered) - 1) * p / 100.0
-            lo = int(rank)
-            hi = min(lo + 1, len(ordered) - 1)
-            frac = rank - lo
-            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict[str, float]:
-        """count/mean/min/max plus the standard latency percentiles."""
-        with self._lock:
-            empty = not self._values
-        return {
-            "count": float(self.count),
-            "mean": self.mean,
-            "min": 0.0 if empty else self.min,
-            "max": 0.0 if empty else self.max,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
-        }
-
-
-class ServiceMetrics:
-    """All counters/histograms of one :class:`GreensService` instance."""
-
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
         self.started_at = time.time()
+        self.registry = registry if registry is not None else MetricRegistry()
+        r = self.registry
         # request lifecycle
-        self.submitted = Counter()
-        self.completed = Counter()
-        self.failed = Counter()
-        self.cache_hits = Counter()
-        self.cache_misses = Counter()
-        self.coalesced = Counter()
-        self.shed = Counter()
-        self.rejected = Counter()
+        self.submitted = r.counter(
+            "repro_jobs_submitted_total", "Jobs submitted to the service"
+        )
+        self.completed = r.counter(
+            "repro_jobs_completed_total", "Jobs resolved successfully"
+        )
+        self.failed = r.counter("repro_jobs_failed_total", "Jobs failed")
+        self.cache_hits = r.counter(
+            "repro_cache_hits_total", "Result-cache hits"
+        )
+        self.cache_misses = r.counter(
+            "repro_cache_misses_total", "Result-cache misses"
+        )
+        self.coalesced = r.counter(
+            "repro_jobs_coalesced_total",
+            "Submissions coalesced onto an in-flight identical job",
+        )
+        self.shed = r.counter(
+            "repro_jobs_shed_total", "Queue entries shed under backpressure"
+        )
+        self.rejected = r.counter(
+            "repro_jobs_rejected_total", "Submissions rejected (queue full)"
+        )
         # execution
-        self.executions = Counter()   # FSI computations actually run
-        self.batches = Counter()
-        self.retries = Counter()
-        self.timeouts = Counter()
+        self.executions = r.counter(
+            "repro_executions_total", "FSI computations actually run"
+        )
+        self.batches = r.counter(
+            "repro_batches_total", "Worker batches dispatched"
+        )
+        self.retries = r.counter(
+            "repro_retries_total", "Batch retries after worker failure"
+        )
+        self.timeouts = r.counter(
+            "repro_timeouts_total", "Batches abandoned on timeout"
+        )
         # latencies (seconds)
-        self.latency = Histogram()      # submit -> ticket resolved
-        self.queue_wait = Histogram()   # submit -> dispatched
-        self.exec_time = Histogram()    # worker-side execution
-        self.batch_size = Histogram()
+        self.latency = r.histogram(
+            "repro_request_latency_seconds",
+            "Submit-to-resolution request latency",
+        )
+        self.queue_wait = r.histogram(
+            "repro_queue_wait_seconds", "Submit-to-dispatch queue wait"
+        )
+        self.exec_time = r.histogram(
+            "repro_exec_seconds", "Worker-side batch execution time"
+        )
+        self.batch_size = r.histogram(
+            "repro_batch_size", "Jobs per dispatched batch"
+        )
         # flop accounting (FlopTracer interop)
-        self._stage_flops: dict[str, float] = {}
-        self._flops_lock = threading.Lock()
+        self._stage_flops = r.counter(
+            "repro_stage_flops_total",
+            "Floating-point operations per algorithm stage",
+            labels=("stage",),
+        )
 
     # ------------------------------------------------------------------
     def absorb_stage_flops(self, stage_flops: dict[str, float]) -> None:
         """Fold a worker's ``FlopTracer`` per-stage summary into totals."""
-        with self._flops_lock:
-            for stage, flops in stage_flops.items():
-                self._stage_flops[stage] = (
-                    self._stage_flops.get(stage, 0.0) + float(flops)
-                )
+        for stage, flops in stage_flops.items():
+            self._stage_flops.labels(stage=stage).inc(float(flops))
 
     @property
     def total_flops(self) -> float:
-        with self._flops_lock:
-            return sum(self._stage_flops.values())
+        return sum(child.value for _, child in self._stage_flops.samples())
 
     def stage_flops(self) -> dict[str, float]:
-        with self._flops_lock:
-            return dict(self._stage_flops)
+        return {
+            values[0]: child.value
+            for values, child in self._stage_flops.samples()
+        }
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -31,6 +31,8 @@ import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable
 
+from ..telemetry import runtime as _telemetry
+from ..telemetry.spans import NULL_SPAN
 from .cache import CacheStats, LRUResultCache
 from .errors import (
     JobFailedError,
@@ -90,16 +92,24 @@ class JobTicket:
         self._event = threading.Event()
         self._result: JobResult | None = None
         self._error: BaseException | None = None
+        #: Telemetry request span; lives from submit to resolution so
+        #: the trace covers the whole client-visible latency.
+        self._span = NULL_SPAN
 
     # -- completion (service side) -------------------------------------
     def _resolve(self, result: JobResult) -> None:
         self._result = result
         self.resolved_at = time.monotonic()
+        self._span.set_attribute("cache_hit", self.cache_hit)
+        self._span.set_attribute("coalesced", self.coalesced)
+        self._span.end()
         self._event.set()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
         self.resolved_at = time.monotonic()
+        self._span.set_attribute("error", type(error).__name__)
+        self._span.end()
         self._event.set()
 
     # -- client side ----------------------------------------------------
@@ -159,6 +169,7 @@ class GreensService:
         self._lock = threading.Lock()
         self._inflight: dict[str, QueueEntry] = {}
         self._closed = False
+        self._register_gauges()
         self._dispatchers = [
             threading.Thread(
                 target=self._dispatch_loop,
@@ -169,6 +180,32 @@ class GreensService:
         ]
         for thread in self._dispatchers:
             thread.start()
+
+    def _register_gauges(self) -> None:
+        """Callback gauges over live service state (read at scrape time)."""
+        r = self.metrics.registry
+        r.gauge(
+            "repro_queue_depth", "Jobs waiting in the priority queue",
+            callback=lambda: float(len(self._queue)),
+        )
+        r.gauge(
+            "repro_inflight_jobs", "Distinct fingerprints queued or executing",
+            callback=lambda: float(len(self._inflight)),
+        )
+        r.gauge(
+            "repro_cache_bytes_used", "Result-cache bytes in use",
+            callback=lambda: float(self.cache.stats().bytes_used),
+        )
+
+        def hit_rate() -> float:
+            hits = self.metrics.cache_hits.value
+            total = hits + self.metrics.cache_misses.value
+            return hits / total if total else 0.0
+
+        r.gauge(
+            "repro_cache_hit_rate", "Result-cache hit rate (0..1)",
+            callback=hit_rate,
+        )
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "GreensService":
@@ -186,6 +223,12 @@ class GreensService:
         admission (``REJECT``, or ``SHED_LOWEST`` without a victim).
         """
         ticket = JobTicket(job.fingerprint, time.monotonic())
+        ticket._span = _telemetry.start_span(
+            "service.request",
+            fingerprint=job.fingerprint[:12],
+            pattern=job.pattern.value,
+            c=job.c,
+        )
         self.metrics.submitted.inc()
 
         cached = self.cache.get(job.fingerprint)
@@ -303,24 +346,48 @@ class GreensService:
             jobs = [entry.job for entry in batch]
             self.metrics.batches.inc()
             self.metrics.batch_size.observe(len(jobs))
+            # The dispatch span parents into the first request's trace
+            # (a batch may merge several traces; the others still carry
+            # their own request spans).  Its context travels to the
+            # worker process so worker-side spans stitch into the trace.
+            parent_ctx = batch[0].tickets[0]._span.context if batch[0].tickets else None
+            if parent_ctx is not None:
+                dispatch_span = _telemetry.start_span(
+                    "service.dispatch", parent=parent_ctx, jobs=len(jobs)
+                )
+                trace_ctx = _telemetry.inject(dispatch_span.context)
+            else:
+                dispatch_span = _telemetry.null_span()
+                trace_ctx = None
             try:
-                results = self._pool.run_batch(jobs)
+                results = self._pool.run_batch(jobs, trace_ctx=trace_ctx)
             except ServiceError as exc:
                 if isinstance(exc, JobTimeoutError):
                     self.metrics.timeouts.inc()
+                dispatch_span.set_attribute("error", type(exc).__name__)
+                dispatch_span.end()
                 for entry in batch:
                     self._fail_entry(entry, exc)
                 continue
             except Exception as exc:  # worker-side computation error
                 wrapped = JobFailedError(f"batch execution failed: {exc!r}")
                 wrapped.__cause__ = exc
+                dispatch_span.set_attribute("error", type(exc).__name__)
+                dispatch_span.end()
                 for entry in batch:
                     self._fail_entry(entry, wrapped)
                 continue
+            dispatch_span.end()
             self.metrics.executions.inc(len(jobs))
             for entry, result in zip(batch, results):
                 self.metrics.exec_time.observe(result.exec_seconds)
                 self.metrics.absorb_stage_flops(result.stage_flops)
+                if result.spans:
+                    # Re-absorb the worker process's spans into the
+                    # global collector, then strip them so cached
+                    # results don't replay stale spans on later hits.
+                    _telemetry.collector().add_many(result.spans)
+                    result.spans = []
                 self._complete_entry(entry, result)
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ worker process.
 
 from __future__ import annotations
 
+import inspect
 import os
 import threading
 import time
@@ -41,22 +42,39 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from ..perf.tracer import FlopTracer
+from ..telemetry import runtime as _telemetry
 from .errors import JobTimeoutError, ServiceClosedError, WorkerCrashError
 from .job import GreensJob, JobResult
 
 __all__ = ["execute_job", "execute_batch", "crash_once_task", "WorkerPool"]
 
 
-def execute_job(job: GreensJob, num_threads: int | None = None) -> JobResult:
-    """Rebuild the model + field and run one traced FSI (worker side)."""
+def execute_job(
+    job: GreensJob,
+    num_threads: int | None = None,
+    trace_ctx: dict | None = None,
+) -> JobResult:
+    """Rebuild the model + field and run one traced FSI (worker side).
+
+    ``trace_ctx`` is a serialized telemetry span context from the
+    scheduler; when present, the worker's spans are recorded and shipped
+    back in ``JobResult.spans`` so the caller can stitch one trace.
+    """
     from ..core.fsi import fsi  # worker-side import, keeps module load light
 
     model = job.spec.build_model()
     pc = model.build_matrix(job.field(), job.spec.sigma)
-    with FlopTracer() as tracer:
-        t0 = time.perf_counter()
-        res = fsi(pc, job.c, pattern=job.pattern, q=job.q, num_threads=num_threads)
-        elapsed = time.perf_counter() - t0
+    with _telemetry.activate_remote(trace_ctx) as local_collector:
+        with _telemetry.span(
+            "worker.job", fingerprint=job.fingerprint[:12]
+        ):
+            with FlopTracer() as tracer:
+                t0 = time.perf_counter()
+                res = fsi(
+                    pc, job.c, pattern=job.pattern, q=job.q,
+                    num_threads=num_threads,
+                )
+                elapsed = time.perf_counter() - t0
     return JobResult(
         fingerprint=job.fingerprint,
         selection=res.selection,
@@ -64,6 +82,7 @@ def execute_job(job: GreensJob, num_threads: int | None = None) -> JobResult:
         flops=tracer.total_flops,
         stage_flops={name: tracer.flops(name) for name in tracer.stages},
         exec_seconds=elapsed,
+        spans=local_collector.drain() if local_collector is not None else [],
     )
 
 
@@ -71,12 +90,15 @@ def execute_batch(
     jobs: Sequence[GreensJob],
     fleet_ranks: int = 1,
     threads_per_rank: int = 1,
+    trace_ctx: dict | None = None,
 ) -> list[JobResult]:
     """Run a batch of *compatible* jobs (same ``compat_key``) in one worker.
 
     A single job (or ``fleet_ranks <= 1``) runs inline; larger batches
     are distributed over a SimMPI fleet so compatible requests share the
-    rank/thread machinery of Alg. 3.
+    rank/thread machinery of Alg. 3.  When ``trace_ctx`` carries a
+    sampled span context, all spans recorded in this process are
+    attached to the *first* result's ``spans`` (one drain per batch).
     """
     jobs = list(jobs)
     if not jobs:
@@ -85,19 +107,31 @@ def execute_batch(
         raise ValueError("execute_batch requires jobs sharing one compat_key")
     n_ranks = min(fleet_ranks, len(jobs))
     if n_ranks <= 1:
-        return [execute_job(job, num_threads=threads_per_rank) for job in jobs]
+        with _telemetry.activate_remote(trace_ctx) as local_collector:
+            with _telemetry.span("worker.batch", jobs=len(jobs)):
+                results = [
+                    execute_job(job, num_threads=threads_per_rank)
+                    for job in jobs
+                ]
+        if local_collector is not None and results:
+            results[0].spans = local_collector.drain()
+        return results
 
     from ..parallel.hybrid import run_selected_fleet
 
     model = jobs[0].spec.build_model()
-    outputs = run_selected_fleet(
-        model,
-        [(job.field().h, job.c, job.pattern, job.q) for job in jobs],
-        n_ranks=n_ranks,
-        threads_per_rank=threads_per_rank,
-        sigma=jobs[0].spec.sigma,
-    )
-    return [
+    with _telemetry.activate_remote(trace_ctx) as local_collector:
+        with _telemetry.span(
+            "worker.batch", jobs=len(jobs), fleet_ranks=n_ranks
+        ):
+            outputs = run_selected_fleet(
+                model,
+                [(job.field().h, job.c, job.pattern, job.q) for job in jobs],
+                n_ranks=n_ranks,
+                threads_per_rank=threads_per_rank,
+                sigma=jobs[0].spec.sigma,
+            )
+    results = [
         JobResult(
             fingerprint=job.fingerprint,
             selection=out.selection,
@@ -108,6 +142,9 @@ def execute_batch(
         )
         for job, out in zip(jobs, outputs)
     ]
+    if local_collector is not None and results:
+        results[0].spans = local_collector.drain()
+    return results
 
 
 def crash_once_task(
@@ -115,6 +152,7 @@ def crash_once_task(
     fleet_ranks: int = 1,
     threads_per_rank: int = 1,
     marker_path: str | None = None,
+    trace_ctx: dict | None = None,
 ) -> list[JobResult]:
     """Chaos-testing task: SIGKILL this worker once, then behave normally.
 
@@ -128,7 +166,7 @@ def crash_once_task(
         with open(marker_path, "w") as fh:
             fh.write(str(os.getpid()))
         os.kill(os.getpid(), 9)
-    return execute_batch(jobs, fleet_ranks, threads_per_rank)
+    return execute_batch(jobs, fleet_ranks, threads_per_rank, trace_ctx=trace_ctx)
 
 
 class WorkerPool:
@@ -163,6 +201,14 @@ class WorkerPool:
         self._fleet_ranks = fleet_ranks
         self._threads_per_rank = threads_per_rank
         self._on_retry = on_retry
+        # Custom task_fns (tests, chaos drills) may predate telemetry;
+        # only forward the span-context carrier when the signature takes
+        # it, so they keep working unchanged.
+        try:
+            params = inspect.signature(task_fn).parameters
+            self._task_takes_trace_ctx = "trace_ctx" in params
+        except (TypeError, ValueError):  # pragma: no cover - C callables
+            self._task_takes_trace_ctx = False
         self._lock = threading.Lock()
         self._generation = 0
         self._closed = False
@@ -190,9 +236,18 @@ class WorkerPool:
         old.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
-    def run_batch(self, jobs: Sequence[GreensJob]) -> list[JobResult]:
+    def run_batch(
+        self,
+        jobs: Sequence[GreensJob],
+        trace_ctx: dict | None = None,
+    ) -> list[JobResult]:
         """Execute a batch with timeout/retry; blocks the calling thread."""
         attempts = 0
+        kwargs = (
+            {"trace_ctx": trace_ctx}
+            if trace_ctx is not None and self._task_takes_trace_ctx
+            else {}
+        )
         while True:
             executor, generation = self._current()
             try:
@@ -201,6 +256,7 @@ class WorkerPool:
                     list(jobs),
                     self._fleet_ranks,
                     self._threads_per_rank,
+                    **kwargs,
                 )
                 return future.result(timeout=self.job_timeout)
             except _FutureTimeout:

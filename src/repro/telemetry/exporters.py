@@ -1,0 +1,271 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, JSONL spans.
+
+Three consumers, three formats:
+
+* **Chrome trace events** — load the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev to see a request's lifetime as nested bars
+  per process/thread (scheduler thread, worker process, SimMPI rank
+  threads each get a lane);
+* **Prometheus text exposition** — the ``serve`` CLI serves it over
+  HTTP (``--metrics-port``) or writes it to a file
+  (``--metrics-file``); histograms are rendered as summaries
+  (quantiles + ``_sum``/``_count``);
+* **JSONL** — one JSON object per finished span, with trace/span ids,
+  for structured-log pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Iterable
+
+from .metrics import MetricRegistry
+from .spans import TraceCollector
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "spans_to_jsonl",
+    "write_jsonl",
+    "prometheus_text",
+    "MetricsServer",
+]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+
+def chrome_trace_events(records: Iterable[dict]) -> list[dict]:
+    """Convert span records to Chrome trace-event dicts (``ph: "X"``).
+
+    Timestamps become microseconds since the earliest span so traces
+    open at t=0; per-(pid, tid) metadata events name the lanes after
+    the recording threads.
+    """
+    records = list(records)
+    if not records:
+        return []
+    t0 = min(r["start_time"] for r in records)
+    events: list[dict] = []
+    seen_threads: set[tuple[int, int]] = set()
+    for r in records:
+        end = r.get("end_time") or r["start_time"]
+        args = {
+            "trace_id": r["trace_id"],
+            "span_id": r["span_id"],
+            "parent_id": r.get("parent_id"),
+        }
+        args.update(r.get("attributes") or {})
+        events.append(
+            {
+                "name": r["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (r["start_time"] - t0) * 1e6,
+                "dur": max(0.0, (end - r["start_time"]) * 1e6),
+                "pid": r["pid"],
+                "tid": r["tid"],
+                "args": args,
+            }
+        )
+        key = (r["pid"], r["tid"])
+        if key not in seen_threads:
+            seen_threads.add(key)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": r["pid"],
+                    "tid": r["tid"],
+                    "args": {"name": r.get("thread_name") or f"tid-{r['tid']}"},
+                }
+            )
+    return events
+
+
+def to_chrome_trace(records: Iterable[dict]) -> dict:
+    """The complete Chrome trace JSON object for ``records``."""
+    return {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    path: str, records: Iterable[dict] | TraceCollector
+) -> int:
+    """Write a Chrome trace file; returns the number of spans written."""
+    if isinstance(records, TraceCollector):
+        records = records.snapshot()
+    records = list(records)
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(records), fh)
+    return len(records)
+
+
+# ----------------------------------------------------------------------
+# JSONL structured span logs
+# ----------------------------------------------------------------------
+
+def spans_to_jsonl(records: Iterable[dict]) -> str:
+    """One JSON object per line per span record."""
+    return "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+
+
+def write_jsonl(
+    path_or_file: str | IO[str], records: Iterable[dict] | TraceCollector
+) -> int:
+    """Append span records as JSONL; returns the number written."""
+    if isinstance(records, TraceCollector):
+        records = records.snapshot()
+    records = list(records)
+    text = spans_to_jsonl(records)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "a") as fh:
+            fh.write(text)
+    else:
+        path_or_file.write(text)
+    return len(records)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(names: tuple[str, ...], values: tuple[str, ...],
+               extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)
+    ] + [f'{n}="{_escape_label(v)}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(v: float) -> str:
+    f = float(v)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def prometheus_text(*registries: MetricRegistry) -> str:
+    """Render registries in the Prometheus text exposition format.
+
+    Counters and gauges render directly; histograms render as
+    summaries (``{quantile="..."}`` series plus ``_sum``/``_count``).
+    Later registries win on duplicate family names (the merge case:
+    a service registry layered over the process-global one).
+    """
+    families: dict[str, object] = {}
+    for registry in registries:
+        for family in registry.families():
+            families[family.name] = family
+
+    lines: list[str] = []
+    for family in families.values():
+        kind = family.kind  # type: ignore[attr-defined]
+        prom_type = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "summary"}[kind]
+        if family.help:  # type: ignore[attr-defined]
+            lines.append(f"# HELP {family.name} {family.help}")  # type: ignore[attr-defined]
+        lines.append(f"# TYPE {family.name} {prom_type}")  # type: ignore[attr-defined]
+        label_names = family.label_names  # type: ignore[attr-defined]
+        sampled = list(family.samples())  # type: ignore[attr-defined]
+        if not sampled and not label_names:
+            # Materialise the default child so declared-but-untouched
+            # metrics still expose a zero sample.
+            family.labels()  # type: ignore[attr-defined]
+            sampled = list(family.samples())  # type: ignore[attr-defined]
+        for values, child in sampled:
+            base = _label_str(label_names, values)
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{family.name}{base} {_format_value(child.value)}"  # type: ignore[attr-defined]
+                )
+            else:  # histogram -> summary
+                for q, p in (("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)):
+                    qlabels = _label_str(
+                        label_names, values, extra=(("quantile", q),)
+                    )
+                    lines.append(
+                        f"{family.name}{qlabels}"  # type: ignore[attr-defined]
+                        f" {_format_value(child.percentile(p))}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{base} {_format_value(child.total)}"  # type: ignore[attr-defined]
+                )
+                lines.append(
+                    f"{family.name}_count{base} {_format_value(child.count)}"  # type: ignore[attr-defined]
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class MetricsServer:
+    """A tiny ``/metrics`` HTTP endpoint (daemon-threaded).
+
+    Serves the Prometheus text rendering of one or more registries —
+    what the ``serve`` CLI binds with ``--metrics-port``.  Pass
+    ``port=0`` to bind an ephemeral port (returned by :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        registries: Iterable[MetricRegistry],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ):
+        self._registries = tuple(registries)
+        self._host = host
+        self._port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        registries = self._registries
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                body = prometheus_text(*registries).encode()
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:  # silence stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer((self._host, self._port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self._httpd.server_address[1]
+
+    @property
+    def port(self) -> int | None:
+        return self._httpd.server_address[1] if self._httpd else None
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

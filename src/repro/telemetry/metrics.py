@@ -1,0 +1,352 @@
+"""The metric registry: counters, gauges and histograms with labels.
+
+One :class:`MetricRegistry` owns a namespace of metric *families*; a
+family is ``(name, kind, help, label names)`` and holds one child
+primitive per label-value combination (Prometheus's data model).
+Families are get-or-create — asking twice for the same name returns the
+same family, which is how independent components (``ServiceMetrics``,
+``CommStats``, the flop tracer) re-register into one shared namespace
+instead of owning private primitives.
+
+A family declared without labels *is* its single child: ``inc`` /
+``set`` / ``observe`` / ``value`` / ``snapshot`` delegate to the
+default child, so label-less families are drop-in replacements for the
+bare primitives the service layer historically used.
+
+All primitives are thread-safe.  :class:`Histogram` keeps a bounded
+reservoir for percentiles and computes its whole :meth:`Histogram.
+snapshot` — count, mean, min, max *and* the sorted percentiles — under
+a single lock acquisition, so concurrent ``observe`` calls can never
+produce a torn (mutually inconsistent) snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricRegistry",
+]
+
+
+class Counter:
+    """A thread-safe monotonic counter (int or float increments)."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up, got increment {n}")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self._value})"
+
+
+class Gauge:
+    """A thread-safe settable value, optionally backed by a callback.
+
+    Callback gauges read their value at collection time — the idiom for
+    "current queue depth" style metrics where the source of truth lives
+    elsewhere and polling it is cheap.
+    """
+
+    def __init__(self, callback: Callable[[], float] | None = None) -> None:
+        self._value = 0.0
+        self._callback = callback
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if self._callback is not None:
+            raise RuntimeError("cannot set a callback-backed gauge")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        if self._callback is not None:
+            raise RuntimeError("cannot inc a callback-backed gauge")
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.inc(-n)
+
+    @property
+    def value(self) -> float:
+        if self._callback is not None:
+            return float(self._callback())
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Sliding-reservoir histogram with exact percentiles over the tail.
+
+    Keeps the most recent ``capacity`` observations (enough for stable
+    p99 at service scale without unbounded memory) plus exact running
+    count/sum/min/max over *all* observations.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._values: list[float] = []
+        self._next = 0  # ring-buffer write position once full
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            if len(self._values) < self._capacity:
+                self._values.append(value)
+            else:
+                self._values[self._next] = value
+                self._next = (self._next + 1) % self._capacity
+
+    @staticmethod
+    def _percentile_of(ordered: list[float], p: float) -> float:
+        """Exact percentile of an already-sorted reservoir (0 if empty)."""
+        if not ordered:
+            return 0.0
+        rank = (len(ordered) - 1) * p / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile of the retained reservoir (0 when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            return self._percentile_of(sorted(self._values), p)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """count/mean/min/max plus the standard latency percentiles.
+
+        The entire snapshot — including the sorted percentiles — is
+        computed under one lock acquisition, so every field reflects
+        the same instant even while other threads keep observing.
+        """
+        with self._lock:
+            ordered = sorted(self._values)
+            empty = not ordered
+            return {
+                "count": float(self.count),
+                "mean": self.total / self.count if self.count else 0.0,
+                "min": 0.0 if empty else self.min,
+                "max": 0.0 if empty else self.max,
+                "p50": self._percentile_of(ordered, 50.0),
+                "p95": self._percentile_of(ordered, 95.0),
+                "p99": self._percentile_of(ordered, 99.0),
+            }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with zero or more label dimensions.
+
+    ``labels(**kv)`` get-or-creates the child primitive for one label
+    combination.  For label-less families the primitive methods
+    delegate to the single default child, so the family itself can be
+    used exactly like a bare :class:`Counter`/:class:`Gauge`/
+    :class:`Histogram`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        callback: Callable[[], float] | None = None,
+        histogram_capacity: int = 4096,
+    ):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if callback is not None and kind != "gauge":
+            raise ValueError("callbacks are only supported on gauges")
+        if callback is not None and label_names:
+            raise ValueError("callback gauges cannot have labels")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._callback = callback
+        self._histogram_capacity = histogram_capacity
+        self._children: dict[tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self) -> Any:
+        if self.kind == "gauge":
+            return Gauge(callback=self._callback)
+        if self.kind == "histogram":
+            return Histogram(capacity=self._histogram_capacity)
+        return Counter()
+
+    def labels(self, **kv: str) -> Any:
+        """The child primitive for one label-value combination."""
+        if set(kv) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.label_names},"
+                f" got {tuple(kv)}"
+            )
+        key = tuple(str(kv[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+            return child
+
+    def samples(self) -> Iterator[tuple[tuple[str, ...], Any]]:
+        """Every ``(label values, child)`` pair, creation order."""
+        with self._lock:
+            items = list(self._children.items())
+        return iter(items)
+
+    # -- label-less convenience (delegate to the default child) --------
+    def _default(self) -> Any:
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} has labels {self.label_names};"
+                " use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, n: int | float = 1) -> None:
+        self._default().inc(n)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def dec(self, n: float = 1.0) -> None:
+        self._default().dec(n)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    @property
+    def value(self) -> int | float:
+        return self._default().value
+
+    @property
+    def mean(self) -> float:
+        return self._default().mean
+
+    @property
+    def count(self) -> int:
+        return self._default().count
+
+    def percentile(self, p: float) -> float:
+        return self._default().percentile(p)
+
+    def snapshot(self) -> dict[str, float]:
+        return self._default().snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricFamily({self.name!r}, {self.kind}, labels={self.label_names})"
+
+
+class MetricRegistry:
+    """A namespace of metric families (get-or-create, thread-safe)."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: tuple[str, ...],
+        **kwargs: Any,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    name, kind, help=help, label_names=tuple(labels), **kwargs
+                )
+                self._families[name] = family
+                return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind},"
+                f" requested {kind}"
+            )
+        if family.label_names != tuple(labels):
+            raise ValueError(
+                f"metric {name!r} already registered with labels"
+                f" {family.label_names}, requested {tuple(labels)}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, "counter", help, tuple(labels))
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        callback: Callable[[], float] | None = None,
+    ) -> MetricFamily:
+        return self._get_or_create(
+            name, "gauge", help, tuple(labels), callback=callback
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        capacity: int = 4096,
+    ) -> MetricFamily:
+        return self._get_or_create(
+            name, "histogram", help, tuple(labels), histogram_capacity=capacity
+        )
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._families

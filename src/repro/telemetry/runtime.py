@@ -1,0 +1,178 @@
+"""Process-global telemetry state and the instrumentation entry points.
+
+Instrumented code throughout the repo calls the module-level helpers —
+:func:`span`, :func:`start_span`, :func:`inject` — which consult one
+process-global :class:`_State`.  When telemetry is disabled (the
+default) every helper short-circuits on a single attribute check and
+returns the shared no-op span, so hot paths pay essentially nothing;
+:mod:`benchmarks.bench_telemetry` measures and gates exactly this.
+
+Cross-process flow (the service's worker pool):
+
+1. the scheduler calls :func:`inject` on its dispatch span and ships
+   the resulting dict alongside the batch;
+2. the worker process wraps execution in :func:`activate_remote`,
+   which temporarily enables telemetry into a private collector with
+   the shipped context as ambient parent;
+3. the worker returns the drained records inside its results and the
+   scheduler feeds them into the global collector — one stitched trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .context import SpanContext, current_context, use_context
+from .metrics import MetricRegistry
+from .spans import NULL_SPAN, Span, TraceCollector, Tracer, _AMBIENT
+
+__all__ = [
+    "configure",
+    "disable",
+    "reset",
+    "enabled",
+    "span",
+    "start_span",
+    "inject",
+    "activate_remote",
+    "collector",
+    "registry",
+    "get_tracer",
+]
+
+
+class _State:
+    __slots__ = ("enabled", "tracer", "collector", "registry")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.collector = TraceCollector()
+        self.tracer = Tracer(self.collector)
+        self.registry = MetricRegistry()
+
+
+_state = _State()
+
+
+def configure(
+    enabled: bool = True,
+    sample_rate: float = 1.0,
+    collector: TraceCollector | None = None,
+    registry: MetricRegistry | None = None,
+    seed: int | None = None,
+) -> None:
+    """Turn telemetry on (or re-tune it).
+
+    ``sample_rate`` is the head-based probability that a new trace is
+    recorded; ``collector``/``registry`` replace the process-global
+    instances when given (tests use this for isolation).
+    """
+    if collector is not None:
+        _state.collector = collector
+    if registry is not None:
+        _state.registry = registry
+    _state.tracer = Tracer(_state.collector, sample_rate=sample_rate, seed=seed)
+    _state.enabled = enabled
+
+
+def disable() -> None:
+    """Stop recording; already-collected spans/metrics are kept."""
+    _state.enabled = False
+
+
+def reset() -> None:
+    """Fresh disabled state: new collector, registry and tracer."""
+    _state.enabled = False
+    _state.collector = TraceCollector()
+    _state.tracer = Tracer(_state.collector)
+    _state.registry = MetricRegistry()
+
+
+def enabled() -> bool:
+    return _state.enabled
+
+
+def collector() -> TraceCollector:
+    return _state.collector
+
+
+def registry() -> MetricRegistry:
+    return _state.registry
+
+
+def get_tracer() -> Tracer:
+    return _state.tracer
+
+
+def span(name: str, **attributes: Any):
+    """Context manager for an ambient span (no-op when disabled).
+
+    The disabled path is the hot-path contract: one attribute check,
+    then the shared null span — no allocation, no id generation.
+    """
+    if not _state.enabled:
+        return NULL_SPAN
+    return _state.tracer.span(name, **attributes)
+
+
+def start_span(name: str, parent: Any = _AMBIENT, **attributes: Any):
+    """Manually-ended span (no-op when disabled); caller calls ``end``.
+
+    Unlike :func:`span` this never touches the ambient stack — it is
+    for spans whose lifetime crosses threads, like a service request
+    span that is started at submit and ended at ticket resolution.
+    """
+    if not _state.enabled:
+        return NULL_SPAN
+    return _state.tracer.start_span(name, parent=parent, **attributes)
+
+
+def inject(ctx: SpanContext | None = None) -> dict | None:
+    """Serialize a context (default: the ambient one) for dispatch.
+
+    Returns ``None`` when telemetry is disabled or there is nothing to
+    propagate, which receivers treat as "do not record".
+    """
+    if not _state.enabled:
+        return None
+    if ctx is None:
+        ctx = current_context()
+    return ctx.to_dict() if ctx is not None else None
+
+
+@contextmanager
+def activate_remote(carrier: dict | None) -> Iterator[TraceCollector | None]:
+    """Worker-process side of cross-process propagation.
+
+    Re-activates a shipped span context: telemetry is temporarily
+    enabled into a *private* collector with the carrier as ambient
+    parent, so every span the worker records lands in one place the
+    caller can drain and ship back.  Yields that collector, or ``None``
+    when the carrier is absent/unsampled (record nothing).  The
+    previous global state is restored on exit — worker processes are
+    recycled, so leaking state across batches would cross-wire traces.
+    """
+    if not carrier or not carrier.get("sampled", True):
+        yield None
+        return
+    ctx = SpanContext.from_dict(carrier)
+    local = TraceCollector()
+    prev_enabled = _state.enabled
+    prev_collector = _state.collector
+    prev_tracer = _state.tracer
+    _state.collector = local
+    _state.tracer = Tracer(local, sample_rate=1.0)
+    _state.enabled = True
+    try:
+        with use_context(ctx):
+            yield local
+    finally:
+        _state.enabled = prev_enabled
+        _state.collector = prev_collector
+        _state.tracer = prev_tracer
+
+
+def null_span() -> Span:
+    """The shared no-op span (exposed for benchmarks/tests)."""
+    return NULL_SPAN  # type: ignore[return-value]

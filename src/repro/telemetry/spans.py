@@ -1,0 +1,264 @@
+"""Hierarchical spans: the tracing half of :mod:`repro.telemetry`.
+
+A :class:`Span` is one timed region of one thread of one process —
+"this rank ran CLS from t0 to t1 with these attributes".  Spans form a
+tree through parent ids and share a trace id, so one service request
+stitches into a single trace even though its spans are recorded by the
+scheduler thread, the dispatcher thread, a worker process and several
+SimMPI rank threads.
+
+Finished spans become plain-dict *records* (picklable, JSON-able) and
+land in a :class:`TraceCollector`; the exporters
+(:mod:`repro.telemetry.exporters`) consume records, never live spans.
+Wall-clock times are ``time.time()`` epoch seconds — the only clock
+that is meaningful across process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .context import SpanContext, current_context, new_span_id, new_trace_id, use_context
+
+__all__ = ["Span", "Tracer", "TraceCollector", "NULL_SPAN"]
+
+
+class Span:
+    """One timed, attributed region of execution.
+
+    Create through :class:`Tracer` (never directly); end exactly once.
+    ``set_attribute`` may be called from any thread until the span ends.
+    """
+
+    __slots__ = (
+        "name",
+        "context",
+        "parent_id",
+        "start_time",
+        "end_time",
+        "attributes",
+        "pid",
+        "tid",
+        "thread_name",
+        "_collector",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        parent_id: str | None,
+        collector: "TraceCollector | None",
+        attributes: dict[str, Any],
+    ):
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.start_time = time.time()
+        self.end_time: float | None = None
+        self.attributes = attributes
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.thread_name = threading.current_thread().name
+        self._collector = collector
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def end(self) -> None:
+        """Finish the span; idempotent.  Sampled spans are collected."""
+        if self.end_time is not None:
+            return
+        self.end_time = time.time()
+        if self.context.sampled and self._collector is not None:
+            self._collector.add(self.record())
+
+    def record(self) -> dict:
+        """The span as a flat, picklable record."""
+        return {
+            "name": self.name,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "pid": self.pid,
+            "tid": self.tid,
+            "thread_name": self.thread_name,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.end_time is None else "ended"
+        return (
+            f"Span({self.name!r}, trace={self.context.trace_id[:8]},"
+            f" id={self.context.span_id}, {state})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: the entire cost of tracing when disabled.
+
+    Usable everywhere a :class:`Span` is — as a context manager, as a
+    ``set_attribute``/``end`` target — so instrumented code never
+    branches on whether telemetry is on.
+    """
+
+    __slots__ = ()
+    context = None
+    parent_id = None
+    name = ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TraceCollector:
+    """Bounded, thread-safe buffer of finished span records.
+
+    The global collector receives spans from every thread of the
+    process plus the re-parented records shipped back from worker
+    processes; exporters read it via :meth:`snapshot` or :meth:`drain`.
+    """
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._records: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def add(self, record: dict) -> None:
+        with self._lock:
+            if len(self._records) == self._records.maxlen:
+                self.dropped += 1
+            self._records.append(record)
+
+    def add_many(self, records: list[dict]) -> None:
+        with self._lock:
+            for record in records:
+                if len(self._records) == self._records.maxlen:
+                    self.dropped += 1
+                self._records.append(record)
+
+    def snapshot(self) -> list[dict]:
+        """A copy of everything collected so far (oldest first)."""
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> list[dict]:
+        """Remove and return everything collected so far."""
+        with self._lock:
+            out = list(self._records)
+            self._records.clear()
+            return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def traces(self) -> dict[str, list[dict]]:
+        """Records grouped by trace id (each group in arrival order)."""
+        out: dict[str, list[dict]] = {}
+        for record in self.snapshot():
+            out.setdefault(record["trace_id"], []).append(record)
+        return out
+
+
+#: Sentinel distinguishing "use the ambient context" from an explicit
+#: ``parent=None`` (which forces a new trace root).
+_AMBIENT = object()
+
+
+class Tracer:
+    """Creates spans and applies the head-based sampling decision.
+
+    ``sample_rate`` is the probability that a *new trace* (a span with
+    no parent) is recorded.  Child spans never re-draw: they inherit
+    the root's decision through the propagated context, so traces are
+    all-or-nothing.
+    """
+
+    def __init__(
+        self,
+        collector: TraceCollector,
+        sample_rate: float = 1.0,
+        seed: int | None = None,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.collector = collector
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+
+    def _sample_root(self) -> bool:
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        return self._rng.random() < self.sample_rate
+
+    def start_span(
+        self,
+        name: str,
+        parent: Any = _AMBIENT,
+        **attributes: Any,
+    ) -> Span:
+        """Create (and start) a span without making it ambient.
+
+        ``parent`` may be a :class:`SpanContext`, ``None`` (force a new
+        trace root), or omitted (parent to the calling thread's ambient
+        context).  The caller owns the span and must call
+        :meth:`Span.end`.
+        """
+        if parent is _AMBIENT:
+            parent_ctx = current_context()
+        else:
+            parent_ctx = parent
+        if parent_ctx is None:
+            ctx = SpanContext(new_trace_id(), new_span_id(), self._sample_root())
+            parent_id = None
+        else:
+            ctx = SpanContext(
+                parent_ctx.trace_id, new_span_id(), parent_ctx.sampled
+            )
+            parent_id = parent_ctx.span_id
+        return Span(name, ctx, parent_id, self.collector, attributes)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Any = _AMBIENT,
+        **attributes: Any,
+    ) -> Iterator[Span]:
+        """Context-managed span that is ambient inside its block."""
+        sp = self.start_span(name, parent=parent, **attributes)
+        with use_context(sp.context):
+            try:
+                yield sp
+            finally:
+                sp.end()

@@ -110,6 +110,74 @@ class TestThreadAttachment:
         assert tr.total_flops == 400.0
 
 
+class TestThreadLocalStages:
+    """Stage labels are per-thread: concurrent stage() contexts on the
+    same tracer must not clobber each other's attribution."""
+
+    def test_concurrent_stages_attribute_correctly(self):
+        barrier = threading.Barrier(4)
+        with FlopTracer() as tr:
+
+            def work(name, amount):
+                with tr.attach_thread():
+                    with tr.stage(name):
+                        barrier.wait()  # all threads inside their stage
+                        for _ in range(100):
+                            record_flops(amount)
+
+            threads = [
+                threading.Thread(target=work, args=(f"s{i}", float(i + 1)))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for i in range(4):
+            assert tr.flops(f"s{i}") == 100.0 * (i + 1)
+        assert tr.total_flops == 100.0 * (1 + 2 + 3 + 4)
+
+    def test_attach_thread_inherits_stage_label(self):
+        """parallel_for-style fan-out: workers inherit the caller's
+        stage via attach_thread(stage=...)."""
+        with FlopTracer() as tr:
+            with tr.stage("wrp"):
+                caller_stage = tr.current_stage
+
+                def work():
+                    with tr.attach_thread(stage=caller_stage):
+                        record_flops(30.0)
+
+                t = threading.Thread(target=work)
+                t.start()
+                t.join()
+        assert tr.flops("wrp") == 30.0
+
+    def test_stage_restored_per_thread(self):
+        with FlopTracer() as tr:
+            with tr.stage("outer"):
+                with tr.stage("inner"):
+                    pass
+                assert tr.current_stage == "outer"
+            assert tr.current_stage == "default"
+
+    def test_main_thread_stage_unaffected_by_worker(self):
+        with FlopTracer() as tr:
+            with tr.stage("main"):
+
+                def work():
+                    with tr.attach_thread():
+                        with tr.stage("worker"):
+                            record_flops(1.0)
+
+                t = threading.Thread(target=work)
+                t.start()
+                t.join()
+                record_flops(2.0)
+        assert tr.flops("worker") == 1.0
+        assert tr.flops("main") == 2.0
+
+
 class TestKernelIntegration:
     def test_gemm_count(self, rng):
         A = rng.standard_normal((3, 4))
