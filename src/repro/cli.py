@@ -225,6 +225,27 @@ def _finish_telemetry(args: argparse.Namespace, *registries) -> None:
         print(f"wrote metrics to {metrics_file}")
 
 
+def _resolve_guards(args: argparse.Namespace):
+    """Service guards: on by default, ``--no-guards`` turns them off."""
+    if getattr(args, "no_guards", False):
+        return None
+    from repro.resilience import GuardConfig
+
+    return GuardConfig()
+
+
+def _resolve_chaos_plan(args: argparse.Namespace):
+    """Load the ``--chaos-plan`` JSON file (fire drills), if given."""
+    path = getattr(args, "chaos_plan", None)
+    if path is None:
+        return None
+    from repro.resilience import FaultPlan
+
+    plan = FaultPlan.load(path)
+    print(f"chaos plan active: seed={plan.seed}, {len(plan.rules)} rule(s)")
+    return plan
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
@@ -263,6 +284,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_mb * 1024 * 1024,
         batch_max=args.batch_max,
         job_timeout=args.job_timeout,
+        guards=_resolve_guards(args),
+        chaos_plan=_resolve_chaos_plan(args),
     )
     print(
         f"serving {len(jobs)} jobs ({args.duplicates * 100:.0f}% duplicates,"
@@ -274,9 +297,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_server = telemetry.MetricsServer(
             (telemetry.registry(), service.metrics.registry),
             port=args.metrics_port,
+            health=service.health,
         )
         port = metrics_server.start()
-        print(f"metrics on http://127.0.0.1:{port}/metrics")
+        print(f"metrics on http://127.0.0.1:{port}/metrics"
+              f" (health on /healthz)")
     stop = threading.Event()
 
     def reporter() -> None:
@@ -327,7 +352,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         spec, field, c=args.c, pattern=Pattern(args.pattern), q=args.q
     )
     print(f"job {job!r}")
-    with GreensService(ServiceConfig(workers=1, fleet_ranks=1)) as svc:
+    config = ServiceConfig(
+        workers=1,
+        fleet_ranks=1,
+        guards=_resolve_guards(args),
+        chaos_plan=_resolve_chaos_plan(args),
+    )
+    with GreensService(config) as svc:
         try:
             first = svc.submit(job).result(timeout=args.timeout)
             again = svc.submit(job)
@@ -481,9 +512,15 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--trace-sample", type=float, default=1.0,
                    help="head-based sampling rate for traces (0..1)")
     s.add_argument("--metrics-port", type=int, default=None,
-                   help="serve Prometheus text on this port (0 = ephemeral)")
+                   help="serve Prometheus text on this port (0 = ephemeral);"
+                        " also exposes /healthz")
     s.add_argument("--metrics-file", default=None,
                    help="write a final Prometheus text snapshot here")
+    s.add_argument("--chaos-plan", default=None,
+                   help="JSON FaultPlan file: inject deterministic faults"
+                        " (fire drill)")
+    s.add_argument("--no-guards", action="store_true",
+                   help="disable numerical health guards / fallback ladder")
     s.set_defaults(func=_cmd_serve)
 
     sb = sub.add_parser("submit", help="submit one job to a fresh service")
@@ -502,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="head-based sampling rate for traces (0..1)")
     sb.add_argument("--metrics-file", default=None,
                     help="write a final Prometheus text snapshot here")
+    sb.add_argument("--chaos-plan", default=None,
+                    help="JSON FaultPlan file: inject deterministic faults"
+                         " (fire drill)")
+    sb.add_argument("--no-guards", action="store_true",
+                    help="disable numerical health guards / fallback ladder")
     sb.set_defaults(func=_cmd_submit)
 
     e = sub.add_parser("experiments", help="regenerate paper tables/figures")

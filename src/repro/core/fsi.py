@@ -9,15 +9,27 @@ pattern, versus ``O(b L^2 N^3)`` for the explicit form and
 Stages are tagged ``"cls"``, ``"bsofi"`` and ``"wrp"`` on the active
 :class:`~repro.perf.tracer.FlopTracer` so per-stage rates (Fig. 8 top)
 can be reconstructed from real runs.
+
+:func:`fsi_resilient` wraps :func:`fsi` with the numerical health
+guards of :mod:`repro.resilience.guards` and an adaptive fallback
+ladder: a guard trip retries with a halved cluster factor
+``c -> c/2 -> ... -> 1`` (pure BSOFI; each rung better conditioned,
+each slower) and, last, the UDT-stabilized path from
+:mod:`repro.dqmc.stabilize`.  The rung that served the result is
+recorded on :attr:`FSIResult.rung` and the
+``repro_fsi_fallback_total`` counter.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..perf.tracer import current_tracers
+from ..resilience import chaos as _chaos
+from ..resilience import guards as _guards
+from ..resilience.guards import GuardConfig, GuardReport, NumericalHealthError
 from ..telemetry import runtime as _telemetry
 from .adjacency import AdjacencyOps
 from .bsofi import bsofi, bsofi_flops
@@ -26,7 +38,7 @@ from .patterns import Pattern, SelectedInversion, Selection
 from .pcyclic import BlockPCyclic
 from .wrap import wrap, wrap_flops
 
-__all__ = ["fsi", "fsi_flops", "FSIResult"]
+__all__ = ["fsi", "fsi_resilient", "fsi_flops", "FSIResult", "fallback_rungs"]
 
 
 @dataclass
@@ -46,12 +58,22 @@ class FSIResult:
     ops:
         The adjacency operator with its LU caches, reusable for further
         wrapping on the same matrix.
+    rung:
+        Which solve path produced the result: ``"direct"`` for the
+        requested cluster factor, ``"c=<n>"`` for a fallback rung of
+        the ladder, ``"udt"`` for the stabilized last resort (which
+        produces no seeds).
+    health:
+        Guard observations for the serving attempt (``None`` when the
+        guards were off).
     """
 
     selected: SelectedInversion
     seeds: np.ndarray
     selection: Selection
     ops: AdjacencyOps
+    rung: str = "direct"
+    health: GuardReport | None = field(default=None, compare=False)
 
 
 def fsi(
@@ -61,6 +83,7 @@ def fsi(
     q: int | None = None,
     rng: np.random.Generator | int | None = None,
     num_threads: int | None = None,
+    guards: GuardConfig | None = None,
 ) -> FSIResult:
     """Fast selected inversion of a block p-cyclic matrix (Alg. 1).
 
@@ -83,6 +106,12 @@ def fsi(
         Source of randomness for ``q``.
     num_threads:
         OpenMP-style team size for the CLS and WRP loops.
+    guards:
+        When given, run the :mod:`repro.resilience.guards` battery on
+        inputs and stage outputs; a trip raises
+        :class:`~repro.resilience.guards.NumericalHealthError` (use
+        :func:`fsi_resilient` to retry down the fallback ladder
+        instead).
 
     Returns
     -------
@@ -94,6 +123,7 @@ def fsi(
     if q is None:
         q = int(np.random.default_rng(rng).integers(0, c))
     selection = Selection(pattern, L=L, c=c, q=q)
+    report = GuardReport() if guards is not None else None
 
     tracers = current_tracers()
     tracer = tracers[-1] if tracers else None
@@ -105,19 +135,158 @@ def fsi(
 
         return contextlib.nullcontext()
 
+    if guards is not None and guards.screen_input:
+        _guards.screen_finite("input", pc.B, report=report)
+
     with _telemetry.span(
         "fsi", L=L, N=pc.N, c=c, q=q, pattern=pattern.name
     ):
         with _telemetry.span("cls"), staged("cls"):
             reduced = cls(pc, c, q, num_threads=num_threads)
+        if _chaos.is_active():
+            corrupted = _chaos.corrupt_array("cls.output", reduced.B)
+            if corrupted is not None:
+                reduced = BlockPCyclic(corrupted)
+        if guards is not None:
+            if guards.screen_stages:
+                _guards.screen_finite("cls", reduced.B, report=report)
+            if guards.condition_samples:
+                _guards.check_cluster_conditions(reduced.B, guards, report)
         with _telemetry.span("bsofi"), staged("bsofi"):
             seeds = bsofi(reduced)
+        if guards is not None:
+            if guards.screen_stages:
+                _guards.screen_finite("bsofi", seeds, report=report)
+            if guards.residual_samples:
+                _guards.check_seed_residual(reduced.B, seeds, guards, report)
         ops = AdjacencyOps(pc)
         with _telemetry.span("wrp", pattern=pattern.name), staged("wrp"):
             selected = wrap(
                 pc, seeds, selection, num_threads=num_threads, ops=ops
             )
-    return FSIResult(selected=selected, seeds=seeds, selection=selection, ops=ops)
+        if guards is not None and guards.screen_stages:
+            blocks = [selected[kl] for kl in selected]
+            picked = _guards.sample_indices(
+                len(blocks), guards.result_screen_samples
+            )
+            _guards.screen_finite(
+                "result", *(blocks[i] for i in picked), report=report
+            )
+    return FSIResult(
+        selected=selected, seeds=seeds, selection=selection, ops=ops,
+        health=report,
+    )
+
+
+def fallback_rungs(c: int) -> list[int]:
+    """The ladder ``c -> c/2 -> ... -> 1`` restricted to divisors of ``c``.
+
+    Each rung is the largest divisor of ``c`` no bigger than half the
+    previous rung, ending at 1 (pure BSOFI).  Rungs divide ``c`` (hence
+    ``L``), which keeps ``q % rung`` in the same residue class: the
+    finer selection is a superset of the requested one for every
+    pattern, so fallback results can be filtered down exactly.
+    """
+    if c < 1:
+        raise ValueError(f"c={c} must be positive")
+    rungs = [c]
+    cur = c
+    while cur > 1:
+        cur = max(d for d in range(1, cur // 2 + 1) if c % d == 0)
+        rungs.append(cur)
+    return rungs
+
+
+def _count_rung(rung: str) -> None:
+    _telemetry.registry().counter(
+        "repro_fsi_fallback_total",
+        "FSI solves by serving rung (direct / fallback c / udt)",
+        labels=("rung",),
+    ).labels(rung=rung).inc()
+
+
+def fsi_resilient(
+    pc: BlockPCyclic,
+    c: int,
+    pattern: Pattern = Pattern.COLUMNS,
+    q: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    num_threads: int | None = None,
+    guards: GuardConfig | None = None,
+) -> FSIResult:
+    """:func:`fsi` with guards and the adaptive fallback ladder.
+
+    Runs the guarded solve at the requested cluster factor; on a
+    :class:`~repro.resilience.guards.NumericalHealthError` retries down
+    the ladder ``c -> c/2 -> ... -> 1`` (smaller clustered products are
+    exponentially better conditioned, Sec. II-A) and finally — for the
+    diagonal patterns — the UDT-stabilized equal-time path from
+    :mod:`repro.dqmc.stabilize`.  Every rung serves the *requested*
+    selection: finer-rung results are filtered down to it.
+
+    The serving rung lands on :attr:`FSIResult.rung` and the
+    ``repro_fsi_fallback_total{rung=...}`` counter; if every rung
+    trips, the last :class:`NumericalHealthError` propagates.
+    """
+    if guards is None:
+        guards = GuardConfig()
+    L = pc.L
+    if c < 1 or L % c != 0:
+        raise ValueError(f"c={c} must be a positive divisor of L={L}")
+    if q is None:
+        q = int(np.random.default_rng(rng).integers(0, c))
+    requested = Selection(pattern, L=L, c=c, q=q)
+
+    last_err: NumericalHealthError | None = None
+    for cur in fallback_rungs(c):
+        rung = "direct" if cur == c else f"c={cur}"
+        try:
+            result = fsi(
+                pc, cur, pattern, q=q % cur, num_threads=num_threads,
+                guards=guards,
+            )
+        except NumericalHealthError as err:
+            last_err = err
+            continue
+        if cur != c:
+            blocks = {
+                kl: result.selected[kl] for kl in requested.block_indices()
+            }
+            result = FSIResult(
+                selected=SelectedInversion(requested, blocks, pc.N),
+                seeds=result.seeds,
+                selection=requested,
+                ops=result.ops,
+                health=result.health,
+            )
+        result.rung = rung
+        _count_rung(rung)
+        return result
+
+    # Last resort: the UDT-stabilized equal-time path.  It only knows
+    # how to build diagonal blocks, so other patterns re-raise.
+    assert last_err is not None
+    if pattern not in (Pattern.DIAGONAL, Pattern.FULL_DIAGONAL):
+        raise last_err
+    from ..dqmc.stabilize import stable_equal_time
+
+    report = GuardReport()
+    with _telemetry.span("fsi_udt", L=L, N=pc.N, pattern=pattern.name):
+        blocks = {
+            (k, l): stable_equal_time(pc, k)
+            for k, l in requested.block_indices()
+        }
+    _guards.screen_finite("udt", *blocks.values(), report=report)
+    result = FSIResult(
+        selected=SelectedInversion(requested, blocks, pc.N),
+        seeds=np.empty((0, 0, pc.N, pc.N), dtype=pc.B.dtype),
+        selection=requested,
+        ops=AdjacencyOps(pc),
+        rung="udt",
+        health=report,
+    )
+    _count_rung("udt")
+    return result
 
 
 def fsi_flops(L: int, N: int, c: int, pattern: Pattern) -> float:

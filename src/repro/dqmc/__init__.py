@@ -14,7 +14,7 @@ from .correlations import (
     pairing_correlation,
     structure_factor,
 )
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .delayed import DelayedGreens
 from .ed import ExactDiagonalization
 from .fourier import from_distance_classes, lattice_momenta, structure_factor_grid
@@ -44,6 +44,7 @@ from .updates import (
 __all__ = [
     "DQMC",
     "DelayedGreens",
+    "CheckpointError",
     "load_checkpoint",
     "save_checkpoint",
     "ChainResult",

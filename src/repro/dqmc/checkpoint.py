@@ -15,12 +15,21 @@ trajectory **exactly** — asserted bit-for-bit in
 engine state (the caller owns the analysis across segments); the
 typical pattern is one analysis object fed by several run segments.
 
-Format: a single ``.npz`` (portable, versioned).
+Format: a single ``.npz`` (portable, versioned).  Saves are
+**crash-safe**: the archive is written to a temporary file in the
+target directory, fsynced, and atomically :func:`os.replace`\\ d into
+place — a preemption mid-save leaves the previous checkpoint intact
+(asserted in ``tests/test_checkpoint_failures.py``).  Unreadable or
+truncated checkpoints load as a typed :class:`CheckpointError` (a
+``ValueError`` subclass), never a raw ``zipfile`` traceback.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -28,30 +37,84 @@ import numpy as np
 from .engine import DQMC
 from .updates import UpdateStats
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_VERSION"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointError",
+    "CHECKPOINT_VERSION",
+]
 
 CHECKPOINT_VERSION = 1
 
 
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable, truncated, or incompatible."""
+
+
 def save_checkpoint(sim: DQMC, path: str | Path) -> Path:
-    """Write the engine's resumable state to ``path`` (``.npz``)."""
+    """Write the engine's resumable state to ``path`` (``.npz``).
+
+    Returns the path actually written: ``path`` itself when it already
+    ends in ``.npz``, else ``path`` with ``.npz`` appended (matching
+    what :func:`np.savez` would have produced).  The write is atomic —
+    either the new checkpoint fully replaces the old one or the old one
+    survives untouched.
+    """
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
     rng_state = json.dumps(_encode_rng(sim.rng))
-    np.savez(
-        path,
-        version=np.array(CHECKPOINT_VERSION),
-        field=sim.field.h,
-        rng_state=np.frombuffer(rng_state.encode(), dtype=np.uint8),
-        config_sign=np.array(
-            0.0 if sim.config_sign is None else sim.config_sign
-        ),
-        has_sign=np.array(sim.config_sign is not None),
-        stats=np.array(
-            [sim.stats.proposed, sim.stats.accepted, sim.stats.negative_ratios]
-        ),
-        max_wrap_drift=np.array(sim.max_wrap_drift),
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            # Passing the *file object* (not a name) stops np.savez from
+            # appending its own .npz suffix to the temp file.
+            np.savez(
+                fh,
+                version=np.array(CHECKPOINT_VERSION),
+                field=sim.field.h,
+                rng_state=np.frombuffer(rng_state.encode(), dtype=np.uint8),
+                config_sign=np.array(
+                    0.0 if sim.config_sign is None else sim.config_sign
+                ),
+                has_sign=np.array(sim.config_sign is not None),
+                stats=np.array(
+                    [
+                        sim.stats.proposed,
+                        sim.stats.accepted,
+                        sim.stats.negative_ratios,
+                    ]
+                ),
+                max_wrap_drift=np.array(sim.max_wrap_drift),
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _read(data: np.lib.npyio.NpzFile, key: str, path: Path) -> np.ndarray:
+    """One member read with typed errors for missing/truncated entries."""
+    try:
+        return data[key]
+    except KeyError:
+        raise CheckpointError(
+            f"checkpoint {path} is missing entry {key!r}"
+            " (truncated or not a DQMC checkpoint)"
+        ) from None
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} entry {key!r} is unreadable"
+            f" (corrupted archive): {exc}"
+        ) from exc
 
 
 def load_checkpoint(sim: DQMC, path: str | Path) -> DQMC:
@@ -60,30 +123,54 @@ def load_checkpoint(sim: DQMC, path: str | Path) -> DQMC:
     The caller constructs the engine with the *same* model and
     configuration used originally (those are code, not state); the
     checkpoint replays the mutable state on top.
+
+    Raises :class:`CheckpointError` (a ``ValueError``) for unreadable
+    or truncated files, unsupported versions, and field/model shape
+    mismatches.
     """
-    data = np.load(Path(path))
-    version = int(data["version"])
-    if version != CHECKPOINT_VERSION:
-        raise ValueError(
-            f"checkpoint version {version} not supported"
-            f" (expected {CHECKPOINT_VERSION})"
+    path = Path(path)
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable (corrupted or truncated"
+            f" archive): {exc}"
+        ) from exc
+    with data:
+        version = int(_read(data, "version", path))
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {version} not supported"
+                f" (expected {CHECKPOINT_VERSION})"
+            )
+        field = _read(data, "field", path)
+        if field.shape != (sim.model.L, sim.model.N):
+            raise CheckpointError(
+                f"checkpoint field shape {field.shape} does not match the"
+                f" model ({sim.model.L}, {sim.model.N})"
+            )
+        try:
+            rng_state = json.loads(bytes(_read(data, "rng_state", path)).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} RNG state is corrupted: {exc}"
+            ) from exc
+        sim.field.h[...] = field
+        _decode_rng(sim.rng, rng_state)
+        sim.config_sign = (
+            float(_read(data, "config_sign", path))
+            if bool(_read(data, "has_sign", path))
+            else None
         )
-    field = data["field"]
-    if field.shape != (sim.model.L, sim.model.N):
-        raise ValueError(
-            f"checkpoint field shape {field.shape} does not match the model"
-            f" ({sim.model.L}, {sim.model.N})"
+        proposed, accepted, negative = (
+            int(v) for v in _read(data, "stats", path)
         )
-    sim.field.h[...] = field
-    _decode_rng(sim.rng, json.loads(bytes(data["rng_state"]).decode()))
-    sim.config_sign = (
-        float(data["config_sign"]) if bool(data["has_sign"]) else None
-    )
-    proposed, accepted, negative = (int(v) for v in data["stats"])
-    sim.stats = UpdateStats(
-        proposed=proposed, accepted=accepted, negative_ratios=negative
-    )
-    sim.max_wrap_drift = float(data["max_wrap_drift"])
+        sim.stats = UpdateStats(
+            proposed=proposed, accepted=accepted, negative_ratios=negative
+        )
+        sim.max_wrap_drift = float(_read(data, "max_wrap_drift", path))
     return sim
 
 

@@ -1,0 +1,46 @@
+"""repro.resilience — numerical health guards, fault injection, service health.
+
+Three legs of one robustness layer:
+
+* :mod:`guards` — cheap numerical-health checks wrapped around the FSI
+  pipeline (NaN/Inf screening, cluster condition-growth monitoring, a
+  sampled seed-residual check) that trip a typed
+  :class:`~repro.resilience.guards.NumericalHealthError` instead of
+  letting a silently corrupted Green's function escape;
+* :mod:`chaos` — deterministic, seeded fault injection
+  (:class:`~repro.resilience.chaos.FaultPlan`) for worker crashes,
+  hangs, NaN/Inf corruption and artificially ill-conditioned inputs at
+  named sites, so the failure paths above are *testable*;
+* :mod:`health` — a :class:`~repro.resilience.health.CircuitBreaker`
+  and the HEALTHY/DEGRADED/FAILED service states the scheduler exports
+  through telemetry gauges and the ``/healthz`` endpoint.
+
+The consuming layers are :func:`repro.core.fsi.fsi_resilient` (the
+adaptive ``c -> c/2 -> ... -> 1 -> UDT`` fallback ladder) and
+:class:`repro.service.scheduler.GreensService` (admission validation,
+result screening, degradation).  See ``docs/robustness.md``.
+"""
+
+from .chaos import FaultKind, FaultPlan, FaultRule
+from .guards import (
+    GuardConfig,
+    GuardReport,
+    NumericalHealthError,
+    estimate_condition,
+    screen_finite,
+)
+from .health import BreakerState, CircuitBreaker, ServiceState
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "GuardConfig",
+    "GuardReport",
+    "NumericalHealthError",
+    "ServiceState",
+    "estimate_condition",
+    "screen_finite",
+]

@@ -5,7 +5,11 @@ jobs (:mod:`job`), a bounded priority queue with configurable
 backpressure (:mod:`queue`), request coalescing + micro-batching into
 SimMPI fleets (:mod:`scheduler`), a recycling process worker pool with
 timeouts and crash retry (:mod:`workers`), a byte-budgeted LRU result
-cache (:mod:`cache`) and serving metrics (:mod:`metrics`).
+cache (:mod:`cache`) and serving metrics (:mod:`metrics`).  Robustness
+— admission validation, a worker-pool circuit breaker with
+HEALTHY/DEGRADED/FAILED states, guarded solves and deterministic fault
+injection — is layered on via :mod:`repro.resilience` (see
+``docs/robustness.md``).
 
 Quickstart::
 
@@ -24,11 +28,13 @@ Quickstart::
 
 from .cache import CacheStats, LRUResultCache
 from .errors import (
+    InvalidJobError,
     JobFailedError,
     JobSheddedError,
     JobTimeoutError,
     QueueFullError,
     ServiceClosedError,
+    ServiceDegradedError,
     ServiceError,
     WorkerCrashError,
 )
@@ -36,7 +42,7 @@ from .job import GreensJob, JobResult, ModelSpec
 from .metrics import Counter, Histogram, ServiceMetrics
 from .queue import BackpressurePolicy, BoundedPriorityQueue, QueueEntry
 from .scheduler import GreensService, JobTicket, ServiceConfig
-from .workers import WorkerPool, execute_batch, execute_job
+from .workers import WorkerPool, chaos_batch_task, execute_batch, execute_job
 
 __all__ = [
     "BackpressurePolicy",
@@ -46,6 +52,7 @@ __all__ = [
     "GreensJob",
     "GreensService",
     "Histogram",
+    "InvalidJobError",
     "JobFailedError",
     "JobResult",
     "JobSheddedError",
@@ -57,10 +64,12 @@ __all__ = [
     "QueueFullError",
     "ServiceClosedError",
     "ServiceConfig",
+    "ServiceDegradedError",
     "ServiceError",
     "ServiceMetrics",
     "WorkerCrashError",
     "WorkerPool",
+    "chaos_batch_task",
     "execute_batch",
     "execute_job",
 ]

@@ -2,18 +2,21 @@
 
 Every way a :class:`~repro.service.scheduler.GreensService` can decline
 or lose a job maps to one exception class, so callers can distinguish
-"retry later" (:class:`QueueFullError`, :class:`JobSheddedError`) from
-"the computation itself failed" (:class:`JobFailedError` and its
-subclasses) from "the service is going away"
-(:class:`ServiceClosedError`).
+"your request is malformed" (:class:`InvalidJobError`) from "retry
+later" (:class:`QueueFullError`, :class:`JobSheddedError`,
+:class:`ServiceDegradedError`) from "the computation itself failed"
+(:class:`JobFailedError` and its subclasses) from "the service is going
+away" (:class:`ServiceClosedError`).
 """
 
 from __future__ import annotations
 
 __all__ = [
     "ServiceError",
+    "InvalidJobError",
     "QueueFullError",
     "JobSheddedError",
+    "ServiceDegradedError",
     "ServiceClosedError",
     "JobFailedError",
     "JobTimeoutError",
@@ -25,12 +28,32 @@ class ServiceError(RuntimeError):
     """Base class for every service-layer failure."""
 
 
+class InvalidJobError(ServiceError):
+    """Admission refused: the job itself is unusable (NaN/Inf in the HS
+    field buffer or non-finite model parameters).  Caught *before*
+    fingerprinting and caching — a poisoned request must never become a
+    cache key."""
+
+
 class QueueFullError(ServiceError):
     """Admission refused: the queue is at capacity (REJECT policy)."""
 
 
 class JobSheddedError(ServiceError):
     """A queued job was evicted to admit higher-priority work."""
+
+
+class ServiceDegradedError(ServiceError):
+    """New compute shed: the worker-pool circuit breaker is open.
+
+    Cache hits and coalesced results are still served while DEGRADED;
+    fresh compute should be retried after :attr:`retry_after` seconds
+    (when the breaker next admits half-open probes).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServiceClosedError(ServiceError):

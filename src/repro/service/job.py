@@ -222,6 +222,9 @@ class JobResult:
     flops: float = 0.0
     stage_flops: dict[str, float] = field(default_factory=dict)
     exec_seconds: float = 0.0
+    #: Which solve path served the blocks: ``"direct"``, a fallback
+    #: ``"c=<n>"`` rung, or ``"udt"`` (see ``core.fsi.fsi_resilient``).
+    rung: str = "direct"
     computed_at: float = field(default_factory=time.time)
     #: Telemetry span records collected in the worker process (present
     #: only when the dispatching request was traced; the scheduler

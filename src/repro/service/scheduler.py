@@ -26,26 +26,36 @@ with :class:`ServiceClosedError` and cancels outstanding pool work.
 
 from __future__ import annotations
 
+import functools
+import math
 import threading
 import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable
 
+import numpy as np
+
+from ..resilience.chaos import FaultKind, FaultPlan
+from ..resilience.guards import GuardConfig, NumericalHealthError
+from ..resilience.health import BreakerState, CircuitBreaker, ServiceState
 from ..telemetry import runtime as _telemetry
 from ..telemetry.spans import NULL_SPAN
 from .cache import CacheStats, LRUResultCache
 from .errors import (
+    InvalidJobError,
     JobFailedError,
     JobSheddedError,
     JobTimeoutError,
     QueueFullError,
     ServiceClosedError,
+    ServiceDegradedError,
     ServiceError,
+    WorkerCrashError,
 )
 from .job import GreensJob, JobResult
 from .metrics import ServiceMetrics
 from .queue import BackpressurePolicy, BoundedPriorityQueue, QueueEntry
-from .workers import WorkerPool, execute_batch
+from .workers import WorkerPool, chaos_batch_task, execute_batch
 
 __all__ = ["ServiceConfig", "JobTicket", "GreensService"]
 
@@ -63,9 +73,23 @@ class ServiceConfig:
     job_timeout: float | None = None
     max_retries: int = 2
     retry_backoff: float = 0.05
+    retry_backoff_max: float = 2.0
     fleet_ranks: int = 2
     threads_per_rank: int = 1
     task_fn: Callable = dataclass_field(default=execute_batch)
+    #: When set, workers solve through ``fsi_resilient`` with these
+    #: guards, and the scheduler screens results before caching them.
+    guards: GuardConfig | None = None
+    #: Consecutive infrastructure failures (crashes/timeouts) that trip
+    #: the worker-pool circuit breaker.
+    breaker_threshold: int = 3
+    #: Seconds the breaker holds OPEN before half-open probes.
+    breaker_reset: float = 5.0
+    #: Concurrent half-open probe batches.
+    breaker_probes: int = 1
+    #: Deterministic fault-injection plan (chaos drills); routes batches
+    #: through :func:`~repro.service.workers.chaos_batch_task`.
+    chaos_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -156,19 +180,30 @@ class GreensService:
         self.metrics = ServiceMetrics()
         self.cache = LRUResultCache(cfg.cache_bytes)
         self._queue = BoundedPriorityQueue(cfg.queue_capacity, cfg.backpressure)
+        task_fn = cfg.task_fn
+        if cfg.chaos_plan is not None:
+            task_fn = functools.partial(chaos_batch_task, plan=cfg.chaos_plan)
         self._pool = WorkerPool(
             cfg.workers,
             job_timeout=cfg.job_timeout,
             max_retries=cfg.max_retries,
             retry_backoff=cfg.retry_backoff,
-            task_fn=cfg.task_fn,
+            retry_backoff_max=cfg.retry_backoff_max,
+            task_fn=task_fn,
             fleet_ranks=cfg.fleet_ranks,
             threads_per_rank=cfg.threads_per_rank,
+            guards=cfg.guards,
             on_retry=lambda _n: self.metrics.retries.inc(),
+        )
+        self._breaker = CircuitBreaker(
+            failure_threshold=cfg.breaker_threshold,
+            reset_timeout=cfg.breaker_reset,
+            half_open_probes=cfg.breaker_probes,
         )
         self._lock = threading.Lock()
         self._inflight: dict[str, QueueEntry] = {}
         self._closed = False
+        self._stopping = threading.Event()
         self._register_gauges()
         self._dispatchers = [
             threading.Thread(
@@ -206,6 +241,15 @@ class GreensService:
             "repro_cache_hit_rate", "Result-cache hit rate (0..1)",
             callback=hit_rate,
         )
+        r.gauge(
+            "repro_service_state",
+            "Service health (0 healthy, 1 degraded, 2 failed)",
+            callback=lambda: float(self.state.value),
+        )
+        r.gauge(
+            "repro_breaker_trips", "Worker-pool circuit-breaker trips",
+            callback=lambda: float(self._breaker.trips),
+        )
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "GreensService":
@@ -215,13 +259,38 @@ class GreensService:
         self.shutdown(drain=True)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_job(job: GreensJob) -> None:
+        """Admission-time sanity: refuse a job that cannot compute.
+
+        Runs before the fingerprint is ever used — a poisoned request
+        must not become a coalescing key or a cache key.
+        """
+        for name in ("t", "U", "beta", "mu"):
+            value = getattr(job.spec, name)
+            if not math.isfinite(value):
+                raise InvalidJobError(
+                    f"model parameter {name}={value!r} is not finite"
+                )
+        h = np.frombuffer(job.h, dtype=np.int8)
+        bad = ~np.isin(h, (-1, 1))
+        if bad.any():
+            raise InvalidJobError(
+                f"HS field buffer has {int(bad.sum())} entries outside"
+                " {-1, +1} (corrupted or non-finite source field)"
+            )
+
     def submit(self, job: GreensJob, priority: int = 0) -> JobTicket:
         """Admit one job; returns immediately with a ticket.
 
-        Raises :class:`ServiceClosedError` after shutdown and
+        Raises :class:`InvalidJobError` for unusable jobs,
+        :class:`ServiceClosedError` after shutdown,
+        :class:`ServiceDegradedError` when the circuit breaker is open
+        (cache hits and coalesced results are still served), and
         :class:`QueueFullError` when the backpressure policy refuses
         admission (``REJECT``, or ``SHED_LOWEST`` without a victim).
         """
+        self._validate_job(job)
         ticket = JobTicket(job.fingerprint, time.monotonic())
         ticket._span = _telemetry.start_span(
             "service.request",
@@ -262,6 +331,18 @@ class GreensService:
                 self.metrics.latency.observe(ticket.latency or 0.0)
                 self.metrics.completed.inc()
                 return ticket
+            # Not cached, not coalescible: this needs fresh compute,
+            # which an open breaker sheds instead of queueing behind a
+            # dead pool.  (HALF_OPEN still admits — queued jobs are the
+            # probes that let the breaker close again.)
+            if self._breaker.state is BreakerState.OPEN:
+                self.metrics.rejected.inc()
+                retry_after = self._breaker.retry_after()
+                raise ServiceDegradedError(
+                    "service degraded: worker pool circuit breaker is"
+                    f" open; retry in {retry_after:.2f}s",
+                    retry_after=retry_after,
+                )
             entry = QueueEntry(
                 priority=priority,
                 seq=self._queue.next_seq(),
@@ -315,6 +396,22 @@ class GreensService:
                 counter.inc()
             self.metrics.failed.inc()
 
+    def _screen_result(self, result: JobResult) -> None:
+        """Last line of defence before the cache: no poison gets stored.
+
+        Worker-side guards should have caught non-finite blocks already,
+        but the cache outlives any one worker — a corrupted result
+        served from it would keep resurfacing, so the store is screened
+        independently whenever guards are configured.
+        """
+        for kl, block in result.blocks.items():
+            if not np.isfinite(block).all():
+                raise NumericalHealthError(
+                    f"result block {kl} of {result.fingerprint[:12]} has"
+                    " non-finite entries",
+                    check="finite", site="result",
+                )
+
     def _complete_entry(self, entry: QueueEntry, result: JobResult) -> None:
         """Cache the result, then resolve every coalesced ticket.
 
@@ -322,6 +419,25 @@ class GreensService:
         *before* the fingerprint leaves the in-flight table, otherwise
         a racing submit could find neither and recompute.
         """
+        plan = self.config.chaos_plan
+        if plan is not None:
+            rule = plan.decide("cache.store", entry.job.fingerprint)
+            if rule is not None and rule.kind is FaultKind.CORRUPT:
+                kl = next(iter(result.blocks))
+                poisoned = result.blocks[kl].copy()
+                poisoned.flat[0] = rule.corrupt_value
+                result.blocks[kl] = poisoned
+        if self.config.guards is not None:
+            try:
+                self._screen_result(result)
+            except NumericalHealthError as exc:
+                wrapped = JobFailedError(
+                    f"result screening rejected {result.fingerprint[:12]}:"
+                    f" {exc}"
+                )
+                wrapped.__cause__ = exc
+                self._fail_entry(entry, wrapped)
+                return
         self.cache.put(result)
         with self._lock:
             self._inflight.pop(entry.job.fingerprint, None)
@@ -333,6 +449,22 @@ class GreensService:
             self.metrics.latency.observe(ticket.latency or 0.0)
             self.metrics.completed.inc()
 
+    def _breaker_admit(self) -> bool:
+        """Wait until the breaker lets a batch through (or we're stopping).
+
+        OPEN means *every* dispatch would burn a retry ladder against a
+        dead pool; HALF_OPEN rations probes.  Returns ``False`` only
+        when the service is stopping, so shutdown never wedges behind
+        an open breaker.
+        """
+        while True:
+            if self._breaker.allow():
+                return True
+            if self._stopping.is_set():
+                return False
+            wait = self._breaker.retry_after()
+            self._stopping.wait(min(0.05, wait) if wait > 0 else 0.01)
+
     def _dispatch_loop(self) -> None:
         cfg = self.config
         while True:
@@ -343,6 +475,15 @@ class GreensService:
             )
             if batch is None:
                 return  # closed and drained
+            if not self._breaker_admit():
+                error = ServiceDegradedError(
+                    "service stopping while worker pool circuit breaker"
+                    " is open",
+                    retry_after=self._breaker.retry_after(),
+                )
+                for entry in batch:
+                    self._fail_entry(entry, error)
+                continue
             jobs = [entry.job for entry in batch]
             self.metrics.batches.inc()
             self.metrics.batch_size.observe(len(jobs))
@@ -364,12 +505,18 @@ class GreensService:
             except ServiceError as exc:
                 if isinstance(exc, JobTimeoutError):
                     self.metrics.timeouts.inc()
+                # Crashes and timeouts are infrastructure failures: they
+                # feed the breaker.  ServiceClosedError does not.
+                if isinstance(exc, (JobTimeoutError, WorkerCrashError)):
+                    self._breaker.record_failure()
                 dispatch_span.set_attribute("error", type(exc).__name__)
                 dispatch_span.end()
                 for entry in batch:
                     self._fail_entry(entry, exc)
                 continue
             except Exception as exc:  # worker-side computation error
+                # The worker ran and raised: the *pool* is healthy.
+                self._breaker.record_success()
                 wrapped = JobFailedError(f"batch execution failed: {exc!r}")
                 wrapped.__cause__ = exc
                 dispatch_span.set_attribute("error", type(exc).__name__)
@@ -377,6 +524,7 @@ class GreensService:
                 for entry in batch:
                     self._fail_entry(entry, wrapped)
                 continue
+            self._breaker.record_success()
             dispatch_span.end()
             self.metrics.executions.inc(len(jobs))
             for entry, result in zip(batch, results):
@@ -418,6 +566,34 @@ class GreensService:
         return len(self._queue)
 
     # ------------------------------------------------------------------
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    @property
+    def state(self) -> ServiceState:
+        """HEALTHY (breaker closed), DEGRADED (open/half-open), FAILED
+        (shut down)."""
+        if self._closed:
+            return ServiceState.FAILED
+        if self._breaker.state is BreakerState.CLOSED:
+            return ServiceState.HEALTHY
+        return ServiceState.DEGRADED
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: state, breaker, live counters."""
+        state = self.state
+        return {
+            "state": state.name.lower(),
+            "breaker": self._breaker.state.value,
+            "retry_after": self._breaker.retry_after(),
+            "breaker_trips": self._breaker.trips,
+            "consecutive_failures": self._breaker.consecutive_failures,
+            "queue_depth": len(self._queue),
+            "inflight": len(self._inflight),
+        }
+
+    # ------------------------------------------------------------------
     def shutdown(self, drain: bool = True, timeout: float | None = 30.0) -> None:
         """Stop the service.
 
@@ -429,6 +605,7 @@ class GreensService:
             if self._closed:
                 return
             self._closed = True
+        self._stopping.set()
         if drain:
             self._queue.close()
             for thread in self._dispatchers:

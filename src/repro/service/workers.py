@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import inspect
 import os
+import random
 import threading
 import time
 from concurrent.futures import (
@@ -42,25 +43,33 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from ..perf.tracer import FlopTracer
+from ..resilience import chaos as _chaos
+from ..resilience.chaos import FaultKind, FaultPlan
+from ..resilience.guards import GuardConfig
 from ..telemetry import runtime as _telemetry
 from .errors import JobTimeoutError, ServiceClosedError, WorkerCrashError
 from .job import GreensJob, JobResult
 
-__all__ = ["execute_job", "execute_batch", "crash_once_task", "WorkerPool"]
+__all__ = ["execute_job", "execute_batch", "chaos_batch_task", "WorkerPool"]
 
 
 def execute_job(
     job: GreensJob,
     num_threads: int | None = None,
     trace_ctx: dict | None = None,
+    guards: GuardConfig | None = None,
 ) -> JobResult:
     """Rebuild the model + field and run one traced FSI (worker side).
 
     ``trace_ctx`` is a serialized telemetry span context from the
     scheduler; when present, the worker's spans are recorded and shipped
     back in ``JobResult.spans`` so the caller can stitch one trace.
+    With ``guards`` the solve runs through
+    :func:`~repro.core.fsi.fsi_resilient` (health checks + the fallback
+    ladder); the serving rung is reported on ``JobResult.rung``.
     """
-    from ..core.fsi import fsi  # worker-side import, keeps module load light
+    # Worker-side imports keep module load light.
+    from ..core.fsi import fsi, fsi_resilient
 
     model = job.spec.build_model()
     pc = model.build_matrix(job.field(), job.spec.sigma)
@@ -68,13 +77,20 @@ def execute_job(
         with _telemetry.span(
             "worker.job", fingerprint=job.fingerprint[:12]
         ):
-            with FlopTracer() as tracer:
-                t0 = time.perf_counter()
-                res = fsi(
-                    pc, job.c, pattern=job.pattern, q=job.q,
-                    num_threads=num_threads,
-                )
-                elapsed = time.perf_counter() - t0
+            with _chaos.job_key(job.fingerprint):
+                with FlopTracer() as tracer:
+                    t0 = time.perf_counter()
+                    if guards is not None:
+                        res = fsi_resilient(
+                            pc, job.c, pattern=job.pattern, q=job.q,
+                            num_threads=num_threads, guards=guards,
+                        )
+                    else:
+                        res = fsi(
+                            pc, job.c, pattern=job.pattern, q=job.q,
+                            num_threads=num_threads,
+                        )
+                    elapsed = time.perf_counter() - t0
     return JobResult(
         fingerprint=job.fingerprint,
         selection=res.selection,
@@ -82,6 +98,7 @@ def execute_job(
         flops=tracer.total_flops,
         stage_flops={name: tracer.flops(name) for name in tracer.stages},
         exec_seconds=elapsed,
+        rung=res.rung,
         spans=local_collector.drain() if local_collector is not None else [],
     )
 
@@ -91,6 +108,7 @@ def execute_batch(
     fleet_ranks: int = 1,
     threads_per_rank: int = 1,
     trace_ctx: dict | None = None,
+    guards: GuardConfig | None = None,
 ) -> list[JobResult]:
     """Run a batch of *compatible* jobs (same ``compat_key``) in one worker.
 
@@ -99,6 +117,8 @@ def execute_batch(
     rank/thread machinery of Alg. 3.  When ``trace_ctx`` carries a
     sampled span context, all spans recorded in this process are
     attached to the *first* result's ``spans`` (one drain per batch).
+    Guarded batches always run inline: the fallback ladder is a
+    per-solve control flow the fleet path does not thread through.
     """
     jobs = list(jobs)
     if not jobs:
@@ -106,11 +126,13 @@ def execute_batch(
     if len({j.compat_key for j in jobs}) != 1:
         raise ValueError("execute_batch requires jobs sharing one compat_key")
     n_ranks = min(fleet_ranks, len(jobs))
-    if n_ranks <= 1:
+    if n_ranks <= 1 or guards is not None:
         with _telemetry.activate_remote(trace_ctx) as local_collector:
             with _telemetry.span("worker.batch", jobs=len(jobs)):
                 results = [
-                    execute_job(job, num_threads=threads_per_rank)
+                    execute_job(
+                        job, num_threads=threads_per_rank, guards=guards
+                    )
                     for job in jobs
                 ]
         if local_collector is not None and results:
@@ -147,26 +169,39 @@ def execute_batch(
     return results
 
 
-def crash_once_task(
+def chaos_batch_task(
     jobs: Sequence[GreensJob],
     fleet_ranks: int = 1,
     threads_per_rank: int = 1,
-    marker_path: str | None = None,
     trace_ctx: dict | None = None,
+    guards: GuardConfig | None = None,
+    plan: FaultPlan | None = None,
 ) -> list[JobResult]:
-    """Chaos-testing task: SIGKILL this worker once, then behave normally.
+    """:func:`execute_batch` under a deterministic :class:`FaultPlan`.
 
-    The first call for a given ``marker_path`` creates the marker file
-    and kills the worker process mid-job (exactly what an OOM kill looks
-    like to the pool); subsequent calls — i.e. the retry on the recycled
-    pool — delegate to :func:`execute_batch`.  Used by the crash-recovery
-    tests and by operational fire drills.
+    The worker-side chaos entry point: activates ``plan`` for the batch
+    and consults the ``worker.task`` site first — ``CRASH`` SIGKILLs
+    this process mid-batch (exactly what an OOM kill looks like to the
+    pool), ``HANG`` sleeps past the batch timeout.  The solve-level
+    sites (``cls.output``) then fire inside :func:`execute_job` per job
+    fingerprint.  Decisions are pure functions of the plan seed and the
+    batch's job fingerprints, so a given plan replays identically;
+    one-shot rules persist their firing in the plan's ``state_dir`` and
+    survive pool recycling.  Used by the chaos suite and operational
+    fire drills (``--chaos-plan``).
     """
-    if marker_path is not None and not os.path.exists(marker_path):
-        with open(marker_path, "w") as fh:
-            fh.write(str(os.getpid()))
-        os.kill(os.getpid(), 9)
-    return execute_batch(jobs, fleet_ranks, threads_per_rank, trace_ctx=trace_ctx)
+    key = jobs[0].fingerprint if jobs else ""
+    with _chaos.activate(plan), _chaos.job_key(key):
+        if plan is not None:
+            rule = plan.decide("worker.task", key)
+            if rule is not None and rule.kind is FaultKind.CRASH:
+                os.kill(os.getpid(), 9)
+            if rule is not None and rule.kind is FaultKind.HANG:
+                time.sleep(rule.hang_seconds)
+        return execute_batch(
+            jobs, fleet_ranks, threads_per_rank,
+            trace_ctx=trace_ctx, guards=guards,
+        )
 
 
 class WorkerPool:
@@ -174,9 +209,14 @@ class WorkerPool:
 
     ``task_fn`` is the picklable batch entry point (defaults to
     :func:`execute_batch`); tests and chaos drills substitute
-    :func:`crash_once_task` or a slow variant.  All public methods are
+    :func:`chaos_batch_task` or a slow variant.  All public methods are
     thread-safe — the scheduler calls :meth:`run_batch` from several
     dispatcher threads against the one shared pool.
+
+    Retry sleeps use *full jitter*: ``uniform(0, min(cap, backoff *
+    2^(attempt-1)))``.  Deterministic backoff synchronises retry storms
+    — every dispatcher thread that lost a worker to the same crash
+    wakes at the same instant and hammers the recycled pool together.
     """
 
     def __init__(
@@ -186,29 +226,34 @@ class WorkerPool:
         job_timeout: float | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        retry_backoff_max: float = 2.0,
         task_fn: Callable[..., list[JobResult]] = execute_batch,
         fleet_ranks: int = 1,
         threads_per_rank: int = 1,
+        guards: GuardConfig | None = None,
         on_retry: Callable[[int], None] | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if retry_backoff_max < 0:
+            raise ValueError("retry_backoff_max must be >= 0")
         self.workers = workers
         self.job_timeout = job_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
         self._task_fn = task_fn
         self._fleet_ranks = fleet_ranks
         self._threads_per_rank = threads_per_rank
+        self._guards = guards
         self._on_retry = on_retry
-        # Custom task_fns (tests, chaos drills) may predate telemetry;
-        # only forward the span-context carrier when the signature takes
-        # it, so they keep working unchanged.
+        # Custom task_fns (tests, chaos drills) may predate telemetry or
+        # the guards; only forward the optional kwargs the signature
+        # actually takes, so they keep working unchanged.
         try:
-            params = inspect.signature(task_fn).parameters
-            self._task_takes_trace_ctx = "trace_ctx" in params
+            self._task_params = set(inspect.signature(task_fn).parameters)
         except (TypeError, ValueError):  # pragma: no cover - C callables
-            self._task_takes_trace_ctx = False
+            self._task_params = set()
         self._lock = threading.Lock()
         self._generation = 0
         self._closed = False
@@ -243,11 +288,11 @@ class WorkerPool:
     ) -> list[JobResult]:
         """Execute a batch with timeout/retry; blocks the calling thread."""
         attempts = 0
-        kwargs = (
-            {"trace_ctx": trace_ctx}
-            if trace_ctx is not None and self._task_takes_trace_ctx
-            else {}
-        )
+        kwargs = {}
+        if trace_ctx is not None and "trace_ctx" in self._task_params:
+            kwargs["trace_ctx"] = trace_ctx
+        if self._guards is not None and "guards" in self._task_params:
+            kwargs["guards"] = self._guards
         while True:
             executor, generation = self._current()
             try:
@@ -276,7 +321,11 @@ class WorkerPool:
                     ) from exc
                 if self._on_retry is not None:
                     self._on_retry(attempts)
-                time.sleep(self.retry_backoff * 2 ** (attempts - 1))
+                cap = min(
+                    self.retry_backoff_max,
+                    self.retry_backoff * 2 ** (attempts - 1),
+                )
+                time.sleep(random.uniform(0.0, cap))
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import IO, Iterable
+from typing import IO, Callable, Iterable
 
 from .metrics import MetricRegistry
 from .spans import TraceCollector
@@ -208,11 +208,19 @@ def prometheus_text(*registries: MetricRegistry) -> str:
 
 
 class MetricsServer:
-    """A tiny ``/metrics`` HTTP endpoint (daemon-threaded).
+    """A tiny ``/metrics`` (+ optional ``/healthz``) HTTP endpoint.
 
     Serves the Prometheus text rendering of one or more registries —
     what the ``serve`` CLI binds with ``--metrics-port``.  Pass
     ``port=0`` to bind an ephemeral port (returned by :meth:`start`).
+
+    ``health`` is an optional zero-argument callable returning a
+    JSON-serialisable dict with a ``"state"`` key (e.g.
+    ``GreensService.health``); when given, ``/healthz`` serves it with
+    status 200 for ``healthy``/``degraded`` and 503 for anything else,
+    so load balancers can stop routing to a dead service while
+    monitoring still scrapes a degraded one.  Telemetry stays ignorant
+    of the service layer — it only ever sees the callable.
     """
 
     def __init__(
@@ -220,30 +228,50 @@ class MetricsServer:
         registries: Iterable[MetricRegistry],
         port: int = 0,
         host: str = "127.0.0.1",
+        health: Callable[[], dict] | None = None,
     ):
         self._registries = tuple(registries)
         self._host = host
         self._port = port
+        self._health = health
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
     def start(self) -> int:
         """Bind and serve in a daemon thread; returns the bound port."""
         registries = self._registries
+        health = self._health
 
         class Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 - http.server API
-                if self.path.rstrip("/") not in ("", "/metrics"):
-                    self.send_error(404)
-                    return
-                body = prometheus_text(*registries).encode()
-                self.send_response(200)
-                self.send_header(
-                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-                )
+            def _reply(self, status: int, body: bytes, ctype: str) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.rstrip("/")
+                if path == "/healthz" and health is not None:
+                    payload = health()
+                    status = (
+                        200 if payload.get("state") in ("healthy", "degraded")
+                        else 503
+                    )
+                    self._reply(
+                        status,
+                        json.dumps(payload, sort_keys=True).encode(),
+                        "application/json",
+                    )
+                    return
+                if path not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                self._reply(
+                    200,
+                    prometheus_text(*registries).encode(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
 
             def log_message(self, *args: object) -> None:  # silence stderr
                 pass

@@ -1,0 +1,163 @@
+"""Checkpoint failure paths: corruption, truncation, and kill-mid-save.
+
+The happy path (bit-exact resume) lives in ``test_cubic_checkpoint``;
+this file asserts the *unhappy* contract of
+:mod:`repro.dqmc.checkpoint`:
+
+* unreadable, truncated, or doctored checkpoints surface as the typed
+  :class:`CheckpointError` (a ``ValueError``) with a pointed message —
+  never a raw ``zipfile``/``KeyError`` traceback;
+* a save that dies at any point — including between writing the temp
+  file and the atomic rename — leaves the previous checkpoint intact
+  and no temp-file droppings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dqmc import DQMC, DQMCConfig
+from repro.dqmc.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.hubbard import HubbardModel, RectangularLattice
+
+
+def make_sim(seed: int = 9, nx: int = 3) -> DQMC:
+    model = HubbardModel(RectangularLattice(nx, 3), L=8, U=4.0, beta=2.0)
+    return DQMC(
+        model,
+        DQMCConfig(warmup_sweeps=0, measurement_sweeps=0, c=4, nwrap=4,
+                   seed=seed, num_threads=1),
+    )
+
+
+class TestSavePath:
+    def test_appends_npz_suffix_and_returns_real_path(self, tmp_path):
+        returned = save_checkpoint(make_sim(), tmp_path / "ckpt")
+        assert returned == tmp_path / "ckpt.npz"
+        assert returned.exists()
+        load_checkpoint(make_sim(), returned)  # round-trips
+
+    def test_keeps_explicit_npz_suffix(self, tmp_path):
+        returned = save_checkpoint(make_sim(), tmp_path / "ckpt.npz")
+        assert returned == tmp_path / "ckpt.npz"
+        assert returned.exists()
+
+    def test_no_temp_droppings_after_save(self, tmp_path):
+        save_checkpoint(make_sim(), tmp_path / "ckpt.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+
+
+class TestLoadFailures:
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(make_sim(), tmp_path / "nope.npz")
+
+    def test_garbage_bytes_are_typed(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(make_sim(), path)
+
+    def test_truncated_archive_is_typed(self, tmp_path):
+        path = save_checkpoint(make_sim(), tmp_path / "ckpt.npz")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(make_sim(), path)
+
+    def test_missing_entry_is_typed(self, tmp_path):
+        path = save_checkpoint(make_sim(), tmp_path / "ckpt.npz")
+        data = dict(np.load(path))
+        del data["field"]
+        np.savez(path, **data)
+        with pytest.raises(CheckpointError, match="missing entry 'field'"):
+            load_checkpoint(make_sim(), path)
+
+    def test_version_mismatch_is_typed(self, tmp_path):
+        path = save_checkpoint(make_sim(), tmp_path / "ckpt.npz")
+        data = dict(np.load(path))
+        data["version"] = np.array(999)
+        np.savez(path, **data)
+        with pytest.raises(CheckpointError, match="version 999 not supported"):
+            load_checkpoint(make_sim(), path)
+
+    def test_shape_mismatch_is_typed(self, tmp_path):
+        path = save_checkpoint(make_sim(), tmp_path / "ckpt.npz")
+        with pytest.raises(CheckpointError, match="does not match"):
+            load_checkpoint(make_sim(nx=2), path)
+
+    def test_corrupted_rng_state_is_typed(self, tmp_path):
+        path = save_checkpoint(make_sim(), tmp_path / "ckpt.npz")
+        data = dict(np.load(path))
+        data["rng_state"] = np.frombuffer(b"{not json", dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(CheckpointError, match="RNG state"):
+            load_checkpoint(make_sim(), path)
+
+    def test_checkpoint_error_is_a_value_error(self):
+        # Callers that matched ValueError before the typed error existed
+        # keep working.
+        assert issubclass(CheckpointError, ValueError)
+
+
+class TestCrashSafety:
+    def stamp(self, sim: DQMC) -> np.ndarray:
+        return sim.field.h.copy()
+
+    def test_failure_before_rename_preserves_old_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        a.sweep()
+        save_checkpoint(a, path)
+        old_field = self.stamp(a)
+
+        a.sweep()  # state has moved on; the second save will die
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated preemption at the rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated preemption"):
+            save_checkpoint(a, path)
+        monkeypatch.undo()
+
+        # The old checkpoint is byte-for-byte usable and no temp file
+        # litters the directory.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+        b = make_sim(seed=1234)
+        load_checkpoint(b, path)
+        np.testing.assert_array_equal(b.field.h, old_field)
+
+    def test_failure_during_write_preserves_old_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "ckpt.npz"
+        a = make_sim()
+        save_checkpoint(a, path)
+        old_field = self.stamp(a)
+
+        a.sweep()
+
+        def exploding_fsync(fd):
+            # BaseException: even a KeyboardInterrupt mid-save must not
+            # eat the previous checkpoint.
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(KeyboardInterrupt):
+            save_checkpoint(a, path)
+        monkeypatch.undo()
+
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ckpt.npz"]
+        b = make_sim(seed=7)
+        load_checkpoint(b, path)
+        np.testing.assert_array_equal(b.field.h, old_field)

@@ -44,7 +44,8 @@ from repro.service import (
     WorkerPool,
     execute_batch,
 )
-from repro.service.workers import crash_once_task
+from repro.resilience import FaultKind, FaultPlan, FaultRule
+from repro.service.workers import chaos_batch_task
 
 #: Small enough that one FSI run takes ~a millisecond.
 SPEC = ModelSpec(nx=2, ny=2, L=8, t=1.0, U=2.0, beta=1.0)
@@ -321,13 +322,19 @@ class TestWorkerPool:
             execute_batch([make_job(seed=1, c=4), make_job(seed=2, c=2)])
 
     def test_crash_retry_recovers(self, tmp_path):
-        marker = str(tmp_path / "crash-marker")
+        plan = FaultPlan(
+            seed=0,
+            rules=(
+                FaultRule(site="worker.task", kind=FaultKind.CRASH, once=True),
+            ),
+            state_dir=str(tmp_path / "chaos"),
+        )
         retries = []
         pool = WorkerPool(
             workers=1,
             max_retries=2,
             retry_backoff=0.01,
-            task_fn=functools.partial(crash_once_task, marker_path=marker),
+            task_fn=functools.partial(chaos_batch_task, plan=plan),
             on_retry=retries.append,
         )
         job = make_job(seed=5)
@@ -335,7 +342,7 @@ class TestWorkerPool:
             results = pool.run_batch([job])
         finally:
             pool.shutdown()
-        assert os.path.exists(marker)        # the crash really happened
+        assert plan.fired() == 1             # the crash really happened
         assert retries == [1]
         expect = oracle_blocks(job)
         for kl, blk in expect.items():
@@ -428,15 +435,21 @@ class TestServiceCacheEviction:
 
 class TestServiceChaos:
     def test_worker_crash_retried_with_correct_result(self, tmp_path):
-        marker = str(tmp_path / "crash-marker")
+        plan = FaultPlan(
+            seed=0,
+            rules=(
+                FaultRule(site="worker.task", kind=FaultKind.CRASH, once=True),
+            ),
+            state_dir=str(tmp_path / "chaos"),
+        )
         cfg = ServiceConfig(
             workers=1, fleet_ranks=1, max_retries=2, retry_backoff=0.01,
-            task_fn=functools.partial(crash_once_task, marker_path=marker),
+            chaos_plan=plan,
         )
         job = make_job(seed=21)
         with GreensService(cfg) as svc:
             result = svc.submit(job).result(timeout=60.0)
-        assert os.path.exists(marker)
+        assert plan.fired() == 1
         assert svc.metrics.retries.value == 1
         assert svc.metrics.failed.value == 0
         expect = oracle_blocks(job)
