@@ -379,6 +379,54 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if not (again.cache_hit and second.fingerprint == first.fingerprint):
             print("FAIL: resubmission did not hit the cache", file=sys.stderr)
             return 1
+        if args.flips > 0:
+            from repro.core.fsi import fsi
+
+            rng = np.random.default_rng(args.seed + 1)
+            flipped = field.copy()
+            positions: set[tuple[int, int]] = set()
+            while len(positions) < args.flips:
+                positions.add(
+                    (int(rng.integers(spec.L)), int(rng.integers(spec.N)))
+                )
+            for sl, site in positions:
+                flipped.flip(sl, site)
+            base_fp = args.base or job.fingerprint
+            delta_job = GreensJob.from_field(
+                spec, flipped, c=args.c, pattern=Pattern(args.pattern),
+                q=args.q,
+            ).with_base(base_fp)
+            ticket = svc.submit(delta_job)
+            try:
+                delta = ticket.result(timeout=args.timeout)
+            except ServiceError as exc:
+                print(f"FAIL: {exc}", file=sys.stderr)
+                return 1
+            speedup = first.exec_seconds / max(delta.exec_seconds, 1e-12)
+            print(
+                f"  {args.flips}-flip resubmit with --base"
+                f" {base_fp[:12]}: rung={delta.rung}"
+                f" delta_hit={ticket.delta_hit}"
+                f" in {delta.exec_seconds * 1e3:.2f} ms"
+                f" ({speedup:.1f}x vs full solve)"
+            )
+            pc = spec.build_model().build_matrix(flipped, spec.sigma)
+            ref = fsi(pc, args.c, pattern=Pattern(args.pattern), q=args.q)
+            worst = 0.0
+            for kl, blk in delta.blocks.items():
+                refb = ref.selected[kl]
+                scale = float(np.linalg.norm(refb)) or 1.0
+                worst = max(
+                    worst, float(np.linalg.norm(blk - refb)) / scale
+                )
+            print(f"  max relative |delta - direct| = {worst:.3e}")
+            if worst > 1e-8:
+                print(
+                    "FAIL: delta-served result disagrees with a fresh"
+                    " direct solve",
+                    file=sys.stderr,
+                )
+                return 1
         _finish_telemetry(args, telemetry.registry(), svc.metrics.registry)
     return 0
 
@@ -533,6 +581,13 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--q", type=int, default=0)
     sb.add_argument("--seed", type=int, default=0)
     sb.add_argument("--timeout", type=float, default=120.0)
+    sb.add_argument("--flips", type=int, default=0,
+                    help="after the base solve, resubmit with this many"
+                         " random HS flips and a --base hint so the"
+                         " service serves a Sherman-Morrison delta")
+    sb.add_argument("--base", default=None,
+                    help="explicit base fingerprint for the --flips"
+                         " resubmission (defaults to the first job's)")
     sb.add_argument("--trace-out", default=None,
                     help="write a Chrome trace-event JSON of all spans here")
     sb.add_argument("--trace-sample", type=float, default=1.0,

@@ -35,6 +35,14 @@ from .greens_explicit import (
 )
 from .patterns import Pattern, SelectedInversion, Selection, seed_indices
 from .pcyclic import BlockPCyclic, pcyclic_from_general, random_pcyclic, torus_index
+from .smw import (
+    DeltaReport,
+    FactorPairs,
+    PCyclicWoodbury,
+    RankOneFlip,
+    diag_flips,
+    transpose_pcyclic,
+)
 from .solve import PCyclicSolver, determinant
 from .stability import fsi_accuracy_sweep, recommend_c
 from .validate import ValidationReport, validate_selected
@@ -44,8 +52,14 @@ __all__ = [
     "AdjacencyOps",
     "BlockPCyclic",
     "ComplexityRow",
+    "DeltaReport",
+    "FactorPairs",
     "PCyclicSolver",
+    "PCyclicWoodbury",
+    "RankOneFlip",
     "determinant",
+    "diag_flips",
+    "transpose_pcyclic",
     "FSIResult",
     "Pattern",
     "SelectedInversion",

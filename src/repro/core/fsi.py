@@ -252,9 +252,15 @@ def fsi_resilient(
             blocks = {
                 kl: result.selected[kl] for kl in requested.block_indices()
             }
+            # The finer rung produced a (b', b', N, N) seed grid over
+            # its own index set I' ⊃ I; served seeds must be indexed by
+            # the *served* selection, so slice the grid down to the
+            # rows/columns of the requested seed set.
+            finer = result.selection.seeds
+            pos = [finer.index(s) for s in requested.seeds]
             result = FSIResult(
                 selected=SelectedInversion(requested, blocks, pc.N),
-                seeds=result.seeds,
+                seeds=np.ascontiguousarray(result.seeds[np.ix_(pos, pos)]),
                 selection=requested,
                 ops=result.ops,
                 health=result.health,

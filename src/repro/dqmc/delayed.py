@@ -31,13 +31,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core import _kernels as kr
+from ..core.smw import FactorPairs
 
 __all__ = ["DelayedGreens"]
 
 
 class DelayedGreens:
     """A wrapped Green's function with delayed rank-1 updates.
+
+    The factor-pair accumulation itself lives in
+    :class:`repro.core.smw.FactorPairs` (shared with the Woodbury
+    delta-serving path); this class adds the Metropolis-specific sign
+    conventions and the auto-flush policy.
 
     Parameters
     ----------
@@ -56,38 +61,25 @@ class DelayedGreens:
         self.G = np.ascontiguousarray(Gw)
         self.N = Gw.shape[0]
         self.delay = delay
-        self._U = np.empty((self.N, delay))
-        self._W = np.empty((self.N, delay))
-        self._k = 0
+        self._pairs = FactorPairs(self.N, delay, dtype=self.G.dtype)
 
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
         """Number of accumulated, unflushed rank-1 updates."""
-        return self._k
+        return self._pairs.pending
 
     def diag(self, i: int) -> float:
         """Current ``Gw[i, i]`` including pending updates."""
-        val = self.G[i, i]
-        if self._k:
-            val += float(self._U[i, : self._k] @ self._W[i, : self._k])
-        return float(val)
+        return float(self.G[i, i] + self._pairs.diag_correction(i))
 
     def col(self, i: int) -> np.ndarray:
         """Current column ``Gw[:, i]``."""
-        out = self.G[:, i].copy()
-        if self._k:
-            out += self._U[:, : self._k] @ self._W[i, : self._k]
-            kr.record_flops(2.0 * self.N * self._k)
-        return out
+        return self.G[:, i] + self._pairs.col_correction(i)
 
     def row(self, i: int) -> np.ndarray:
         """Current row ``Gw[i, :]``."""
-        out = self.G[i, :].copy()
-        if self._k:
-            out += self._W[:, : self._k] @ self._U[i, : self._k]
-            kr.record_flops(2.0 * self.N * self._k)
-        return out
+        return self.G[i, :] + self._pairs.row_correction(i)
 
     # ------------------------------------------------------------------
     def ratio(self, i: int, gamma: float) -> float:
@@ -102,22 +94,13 @@ class DelayedGreens:
         u = self.col(i)
         w = -self.row(i)
         w[i] += 1.0
-        self._U[:, self._k] = (-gamma / r) * u
-        self._W[:, self._k] = w
-        self._k += 1
-        if self._k == self.delay:
+        self._pairs.append((-gamma / r) * u, w)
+        if self._pairs.is_full:
             self.flush()
 
     def flush(self) -> None:
         """Fold pending updates into ``G`` with one gemm."""
-        if self._k == 0:
-            return
-        k = self._k
-        self.G += kr.gemm(
-            np.ascontiguousarray(self._U[:, :k]),
-            np.ascontiguousarray(self._W[:, :k].T),
-        )
-        self._k = 0
+        self._pairs.flush_into(self.G)
 
     @property
     def matrix(self) -> np.ndarray:

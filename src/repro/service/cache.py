@@ -31,6 +31,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: ``put()`` calls rejected without storing (cache disabled, or the
+    #: result alone exceeds the whole byte budget).
+    drops: int = 0
     entries: int = 0
     bytes_used: int = 0
     bytes_budget: int = 0
@@ -56,6 +59,7 @@ class LRUResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._drops = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -70,14 +74,32 @@ class LRUResultCache:
             self._hits += 1
             return result
 
+    def peek(self, fingerprint: str) -> JobResult | None:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        For *secondary* lookups — e.g. the scheduler probing for a
+        delta-update base — where a miss is not a cache failure and
+        must not depress the reported hit rate.  Recency is still
+        refreshed: a result actively used as a delta base is exactly
+        the one eviction should spare.
+        """
+        with self._lock:
+            result = self._entries.get(fingerprint)
+            if result is not None:
+                self._entries.move_to_end(fingerprint)
+            return result
+
     def put(self, result: JobResult) -> bool:
         """Insert under the byte budget; return whether it was stored.
 
         A result larger than the whole budget is not cached (it would
-        evict everything and then still not pay for itself).
+        evict everything and then still not pay for itself).  Rejected
+        inserts are counted as ``drops`` in :meth:`stats`.
         """
         size = result.nbytes
         if self.max_bytes <= 0 or size > self.max_bytes:
+            with self._lock:
+                self._drops += 1
             return False
         with self._lock:
             old = self._entries.pop(result.fingerprint, None)
@@ -100,9 +122,19 @@ class LRUResultCache:
             return len(self._entries)
 
     def clear(self) -> None:
+        """Drop every entry *and* reset the counters.
+
+        A cleared cache starts a fresh accounting epoch: keeping the
+        old hit/miss/eviction tallies would make ``stats().hit_rate``
+        blend traffic from before and after the clear.
+        """
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._drops = 0
 
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:
@@ -111,6 +143,7 @@ class LRUResultCache:
                 hits=self._hits,
                 misses=self._misses,
                 evictions=self._evictions,
+                drops=self._drops,
                 entries=len(self._entries),
                 bytes_used=self._bytes,
                 bytes_budget=self.max_bytes,

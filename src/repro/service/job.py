@@ -18,6 +18,7 @@ pickle cheaply across the process-pool boundary (the field buffer is
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import struct
 import time
@@ -35,7 +36,10 @@ __all__ = ["ModelSpec", "GreensJob", "JobResult"]
 
 #: Bump when the canonical encoding changes — keeps stale cache entries
 #: from ever colliding with fingerprints of a newer layout.
-_FINGERPRINT_VERSION = 1
+#: v2: results gained delta-serving fields (``JobResult.h`` /
+#: ``delta_depth``); older cached entries lack the base field needed to
+#: chain updates, so they must not be served as delta bases.
+_FINGERPRINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -122,6 +126,13 @@ class GreensJob:
     the randomised-``q`` convention of the paper happens at submission
     time (see :meth:`from_field`), never inside the service, so that a
     job's identity is deterministic.
+
+    ``base_fingerprint`` is an optional *routing hint* naming a cached
+    result this request differs from by a few HS flips — the scheduler
+    may then serve a Sherman–Morrison delta update instead of a full
+    solve.  It is deliberately excluded from equality and the
+    fingerprint: the hint changes how a result is computed, never what
+    the result is.
     """
 
     spec: ModelSpec
@@ -129,6 +140,7 @@ class GreensJob:
     c: int
     pattern: Pattern = Pattern.DIAGONAL
     q: int = 0
+    base_fingerprint: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.pattern, Pattern):
@@ -174,6 +186,10 @@ class GreensJob:
         return HSField.from_buffer(
             np.frombuffer(self.h, dtype=np.int8), self.spec.L, self.spec.N
         )
+
+    def with_base(self, base_fingerprint: str | None) -> "GreensJob":
+        """A copy of this job carrying a delta-base routing hint."""
+        return dataclasses.replace(self, base_fingerprint=base_fingerprint)
 
     # ------------------------------------------------------------------
     @cached_property
@@ -223,8 +239,22 @@ class JobResult:
     stage_flops: dict[str, float] = field(default_factory=dict)
     exec_seconds: float = 0.0
     #: Which solve path served the blocks: ``"direct"``, a fallback
-    #: ``"c=<n>"`` rung, or ``"udt"`` (see ``core.fsi.fsi_resilient``).
+    #: ``"c=<n>"`` rung, ``"udt"`` (see ``core.fsi.fsi_resilient``), or
+    #: ``"delta(<k>)"`` for a rank-``k`` Sherman–Morrison update of a
+    #: cached base (see ``service.scheduler`` and ``core.smw``).
     rung: str = "direct"
+    #: The HS-field buffer the blocks belong to.  Stored so a cached
+    #: result can serve as the *base* of a later delta update (the
+    #: scheduler diffs the request's field against it); ``None`` on
+    #: results from pre-v2 producers, which therefore never serve as
+    #: bases.
+    h: bytes | None = None
+    #: Length of the delta chain behind this result: 0 for a fresh
+    #: solve, ``base.delta_depth + 1`` for a delta update.  Bounds
+    #: round-off accumulation — the scheduler refuses to extend chains
+    #: past ``ServiceConfig.delta_max_depth`` (Bauer-style
+    #: restabilisation by a fresh solve).
+    delta_depth: int = 0
     computed_at: float = field(default_factory=time.time)
     #: Telemetry span records collected in the worker process (present
     #: only when the dispatching request was traced; the scheduler

@@ -43,7 +43,11 @@ class ServiceMetrics:
     """
 
     def __init__(self, registry: MetricRegistry | None = None) -> None:
+        # Wall-clock birth time is kept for display/logs only; uptime is
+        # measured on the monotonic clock so NTP steps can never make it
+        # jump or go negative in Prometheus//healthz output.
         self.started_at = time.time()
+        self._started_mono = time.monotonic()
         self.registry = registry if registry is not None else MetricRegistry()
         r = self.registry
         # request lifecycle
@@ -63,6 +67,20 @@ class ServiceMetrics:
         self.coalesced = r.counter(
             "repro_jobs_coalesced_total",
             "Submissions coalesced onto an in-flight identical job",
+        )
+        # delta serving (Sherman–Morrison fast path)
+        self.delta_hits = r.counter(
+            "repro_delta_hits_total",
+            "Requests served by a Sherman–Morrison delta update",
+        )
+        self.delta_misses = r.counter(
+            "repro_delta_misses_total",
+            "Delta attempts whose hinted base was no longer cached",
+        )
+        self.delta_fallbacks = r.counter(
+            "repro_delta_fallbacks_total",
+            "Delta attempts abandoned to a full solve",
+            labels=("reason",),
         )
         self.shed = r.counter(
             "repro_jobs_shed_total", "Queue entries shed under backpressure"
@@ -124,8 +142,12 @@ class ServiceMetrics:
     def stats(self) -> dict:
         """One consistent-enough snapshot of every metric."""
         total_lookups = self.cache_hits.value + self.cache_misses.value
+        delta_fallbacks = {
+            values[0]: child.value
+            for values, child in self.delta_fallbacks.samples()
+        }
         return {
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self._started_mono,
             "submitted": self.submitted.value,
             "completed": self.completed.value,
             "failed": self.failed.value,
@@ -142,6 +164,11 @@ class ServiceMetrics:
                 "hit_rate": (
                     self.cache_hits.value / total_lookups if total_lookups else 0.0
                 ),
+            },
+            "delta": {
+                "hits": self.delta_hits.value,
+                "misses": self.delta_misses.value,
+                "fallbacks": delta_fallbacks,
             },
             "latency_seconds": self.latency.snapshot(),
             "queue_wait_seconds": self.queue_wait.snapshot(),
@@ -164,6 +191,15 @@ class ServiceMetrics:
             f" retries={s['retries']} timeouts={s['timeouts']}",
             f"  cache: hit rate {cache['hit_rate'] * 100:5.1f}%"
             f" ({cache['hits']} hits / {cache['misses']} misses)",
+            f"  delta: {s['delta']['hits']} served /"
+            f" {s['delta']['misses']} missed, fallbacks="
+            + (
+                " ".join(
+                    f"{k}:{int(v)}"
+                    for k, v in sorted(s["delta"]["fallbacks"].items())
+                )
+                or "none"
+            ),
             f"  latency: p50 {lat['p50'] * 1e3:8.2f} ms"
             f"  p95 {lat['p95'] * 1e3:8.2f} ms"
             f"  p99 {lat['p99'] * 1e3:8.2f} ms"

@@ -30,11 +30,15 @@ import functools
 import math
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable
 
 import numpy as np
 
+from ..core.smw import PCyclicWoodbury, diag_flips
+from ..hubbard.hs_field import HSField
+from ..perf.tracer import FlopTracer
 from ..resilience.chaos import FaultKind, FaultPlan
 from ..resilience.guards import GuardConfig, NumericalHealthError
 from ..resilience.health import BreakerState, CircuitBreaker, ServiceState
@@ -90,6 +94,25 @@ class ServiceConfig:
     #: Deterministic fault-injection plan (chaos drills); routes batches
     #: through :func:`~repro.service.workers.chaos_batch_task`.
     chaos_plan: FaultPlan | None = None
+    #: Serve requests carrying a ``base_fingerprint`` hint by a
+    #: Sherman–Morrison delta update of the cached base when possible
+    #: (see :mod:`repro.core.smw` and ``docs/incremental.md``).
+    delta_updates: bool = True
+    #: Largest HS-field diff (number of flips) the delta path accepts;
+    #: beyond it a full solve is cheaper/safer.
+    delta_rank_budget: int = 16
+    #: Longest delta chain before a fresh solve is forced (Bauer-style
+    #: restabilisation: each link adds rounding error).
+    delta_max_depth: int = 8
+    #: Relative residual of the structured solves above which the delta
+    #: is discarded and the request falls back to a full solve.
+    delta_residual_tol: float = 1e-6
+    #: Condition-number limit on the Woodbury capacitance matrix.
+    delta_cond_limit: float = 1e10
+    #: How many per-base :class:`~repro.core.smw.PCyclicWoodbury`
+    #: factorisations to keep (LRU).  Factoring is O(L N^3) — the path
+    #: only pays off when consecutive requests reuse a warm base.
+    delta_solver_states: int = 4
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -98,6 +121,12 @@ class ServiceConfig:
             raise ValueError("batch_max must be >= 1")
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if self.delta_rank_budget < 1:
+            raise ValueError("delta_rank_budget must be >= 1")
+        if self.delta_max_depth < 1:
+            raise ValueError("delta_max_depth must be >= 1")
+        if self.delta_solver_states < 1:
+            raise ValueError("delta_solver_states must be >= 1")
 
 
 class JobTicket:
@@ -112,6 +141,8 @@ class JobTicket:
         self.submitted_at = submitted_at
         self.cache_hit = False
         self.coalesced = False
+        #: Served by the Sherman–Morrison delta fast path.
+        self.delta_hit = False
         self.resolved_at: float | None = None
         self._event = threading.Event()
         self._result: JobResult | None = None
@@ -202,6 +233,9 @@ class GreensService:
         )
         self._lock = threading.Lock()
         self._inflight: dict[str, QueueEntry] = {}
+        #: LRU of per-base Woodbury factorisations (delta fast path).
+        self._delta_states: OrderedDict[str, PCyclicWoodbury] = OrderedDict()
+        self._delta_lock = threading.Lock()
         self._closed = False
         self._stopping = threading.Event()
         self._register_gauges()
@@ -240,6 +274,11 @@ class GreensService:
         r.gauge(
             "repro_cache_hit_rate", "Result-cache hit rate (0..1)",
             callback=hit_rate,
+        )
+        r.gauge(
+            "repro_delta_states",
+            "Warm per-base Woodbury factorisations held for delta serving",
+            callback=lambda: float(len(self._delta_states)),
         )
         r.gauge(
             "repro_service_state",
@@ -310,6 +349,13 @@ class GreensService:
             return ticket
         self.metrics.cache_misses.inc()
 
+        # Delta fast path: a request hinting at a cached base may be
+        # served by a rank-k Woodbury update instead of a full solve.
+        # Runs inline in the submitting thread — it is O(L N^2 k) on a
+        # warm base, far below the queue + process-pool round trip.
+        if self._try_delta(job, ticket):
+            return ticket
+
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is shut down")
@@ -379,6 +425,132 @@ class GreensService:
     ) -> JobResult:
         """Synchronous convenience: ``submit(...).result(...)``."""
         return self.submit(job, priority=priority).result(timeout=timeout)
+
+    # -- delta fast path (Sherman–Morrison serving) ---------------------
+    def _delta_state(self, base: JobResult, job: GreensJob) -> PCyclicWoodbury:
+        """The per-base Woodbury factorisation (LRU-cached).
+
+        Factoring a cold base costs two structured QRs — O(L N^3), on
+        the order of a full solve — so the fast path only pays off when
+        consecutive requests hit a warm state; the LRU keeps the last
+        ``delta_solver_states`` bases.
+        """
+        key = base.fingerprint
+        with self._delta_lock:
+            state = self._delta_states.get(key)
+            if state is not None:
+                self._delta_states.move_to_end(key)
+                return state
+        assert base.h is not None
+        spec = job.spec
+        base_field = HSField.from_buffer(
+            np.frombuffer(base.h, dtype=np.int8), spec.L, spec.N
+        )
+        pc = spec.build_model().build_matrix(base_field, spec.sigma)
+        state = PCyclicWoodbury(pc)
+        with self._delta_lock:
+            # A racing thread may have built the same state; keep the
+            # first one so warm LU caches are shared.
+            state = self._delta_states.setdefault(key, state)
+            self._delta_states.move_to_end(key)
+            while len(self._delta_states) > self.config.delta_solver_states:
+                self._delta_states.popitem(last=False)
+        return state
+
+    def _try_delta(self, job: GreensJob, ticket: JobTicket) -> bool:
+        """Serve ``job`` by a Woodbury update of its hinted base.
+
+        Returns ``True`` only when the ticket was resolved.  Every
+        abandoned attempt lands on the ``repro_delta_fallbacks_total``
+        counter with a reason (``base-evicted`` / ``incompatible`` /
+        ``depth`` / ``rank`` / ``residual`` / ``error``) and the request
+        proceeds down the ordinary full-solve path.
+        """
+        cfg = self.config
+        if not cfg.delta_updates or job.base_fingerprint is None:
+            return False
+        span = _telemetry.start_span(
+            "service.delta",
+            parent=ticket._span.context,
+            base=job.base_fingerprint[:12],
+        )
+
+        def fallback(reason: str) -> bool:
+            self.metrics.delta_fallbacks.labels(reason=reason).inc()
+            span.set_attribute("fallback", reason)
+            span.end()
+            return False
+
+        base = self.cache.peek(job.base_fingerprint)
+        if base is None:
+            self.metrics.delta_misses.inc()
+            return fallback("base-evicted")
+        if base.h is None:
+            # Pre-v2 producer: no field stored, cannot diff against it.
+            return fallback("incompatible")
+        # Content-addressed compatibility: reconstruct the fingerprint
+        # this job would have with the *base's* field.  A match proves
+        # spec, c, pattern and q all agree — without storing the spec in
+        # the cached result.
+        try:
+            probe = GreensJob(
+                spec=job.spec, h=base.h, c=job.c,
+                pattern=job.pattern, q=job.q,
+            )
+        except (TypeError, ValueError):
+            return fallback("incompatible")
+        if probe.fingerprint != job.base_fingerprint:
+            return fallback("incompatible")
+        if base.delta_depth + 1 > cfg.delta_max_depth:
+            return fallback("depth")
+        spec = job.spec
+        h_base = np.frombuffer(base.h, dtype=np.int8).reshape(spec.L, spec.N)
+        h_new = np.frombuffer(job.h, dtype=np.int8).reshape(spec.L, spec.N)
+        model = spec.build_model()
+        coupling = model.spin_factor(spec.sigma) * model.nu
+        flips = diag_flips(h_base, h_new, coupling)
+        rank = len(flips)
+        span.set_attribute("rank", rank)
+        if rank == 0 or rank > cfg.delta_rank_budget:
+            return fallback("rank")
+        try:
+            t0 = time.perf_counter()
+            state = self._delta_state(base, job)
+            with FlopTracer() as tracer, tracer.stage("delta"):
+                blocks, report = state.update_blocks(base.blocks, flips)
+            elapsed = time.perf_counter() - t0
+        except Exception:
+            return fallback("error")
+        span.set_attribute("residual", report.solve_residual)
+        span.set_attribute("capacitance_cond", report.capacitance_cond)
+        if not report.healthy(cfg.delta_residual_tol, cfg.delta_cond_limit):
+            return fallback("residual")
+        result = JobResult(
+            fingerprint=job.fingerprint,
+            selection=job.selection,
+            blocks=blocks,
+            flops=tracer.total_flops,
+            stage_flops={"delta": tracer.total_flops},
+            exec_seconds=elapsed,
+            rung=f"delta({rank})",
+            h=job.h,
+            delta_depth=base.delta_depth + 1,
+        )
+        if cfg.guards is not None:
+            try:
+                self._screen_result(result)
+            except NumericalHealthError:
+                return fallback("residual")
+        self.cache.put(result)
+        ticket.delta_hit = True
+        self.metrics.delta_hits.inc()
+        self.metrics.exec_time.observe(elapsed)
+        self.metrics.absorb_stage_flops(result.stage_flops)
+        span.end()
+        ticket._resolve(result)
+        self.metrics.latency.observe(ticket.latency or 0.0)
+        self.metrics.completed.inc()
+        return True
 
     # ------------------------------------------------------------------
     def _fail_entry(
@@ -551,8 +723,10 @@ class GreensService:
                 "bytes_used": cache.bytes_used,
                 "bytes_budget": cache.bytes_budget,
                 "evictions": cache.evictions,
+                "drops": cache.drops,
             }
         )
+        data["delta"]["states"] = len(self._delta_states)
         return data
 
     def cache_stats(self) -> CacheStats:

@@ -99,6 +99,7 @@ def execute_job(
         stage_flops={name: tracer.flops(name) for name in tracer.stages},
         exec_seconds=elapsed,
         rung=res.rung,
+        h=job.h,
         spans=local_collector.drain() if local_collector is not None else [],
     )
 
@@ -161,6 +162,7 @@ def execute_batch(
             flops=out.flops,
             stage_flops=out.stage_flops,
             exec_seconds=out.seconds,
+            h=job.h,
         )
         for job, out in zip(jobs, outputs)
     ]

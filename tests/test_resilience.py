@@ -226,6 +226,31 @@ class TestFallbackLadder:
                 res.selected[kl], oracle.selected[kl], atol=1e-8
             )
 
+    def test_fallback_seeds_match_served_selection(self):
+        """Regression: fallback rungs used to ship the *finer* rung's
+        seed grid (``b' = L/cur`` blocks) under a selection reporting
+        the requested ``c`` — indexing seeds by the served selection
+        then hit the wrong entries.  Seeds must now be the exact
+        requested-``c`` grid."""
+        pc = toy_pcyclic()
+        reduced = cls(pc, 4, 3)
+        direct_cond = max(
+            estimate_condition(reduced.B[i]) for i in range(reduced.B.shape[0])
+        )
+        half = cls(pc, 2, 1)
+        half_cond = max(
+            estimate_condition(half.B[i]) for i in range(half.B.shape[0])
+        )
+        limit = float(np.sqrt(half_cond * direct_cond))
+        guards = GuardConfig(condition_limit=limit, condition_samples=64)
+        res = fsi_resilient(pc, 4, Pattern.COLUMNS, q=3, guards=guards)
+        assert res.rung == "c=2"
+        oracle = fsi(pc, 4, Pattern.COLUMNS, q=3)
+        b = pc.L // 4
+        assert res.seeds.shape == (b, b, pc.N, pc.N)
+        assert res.selection.seeds == oracle.selection.seeds
+        np.testing.assert_allclose(res.seeds, oracle.seeds, atol=1e-8)
+
     def test_udt_rung_is_last_resort(self):
         pc = toy_pcyclic()
         guards = GuardConfig(condition_limit=1.0 + 1e-12)  # trips every c
