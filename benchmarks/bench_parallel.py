@@ -1,13 +1,50 @@
-"""Parallel substrate benchmarks: SimMPI collectives and threaded loops."""
+"""Parallel substrate benchmarks: transport backends and threaded loops.
+
+Two halves:
+
+* pytest-benchmark timings of the SimMPI collectives, the OpenMP-style
+  loop layer, and a small fleet on both the ``threads`` and ``mp-shm``
+  transport backends;
+* a standalone ``--check`` mode (run by CI) that times the 4-rank
+  fleet solve on ``threads`` vs ``mp-shm`` at ``L in {32, 64}`` and
+  writes ``BENCH_parallel.json``.  The ``threads`` backend shares one
+  GIL across all ranks, so the Python-level block bookkeeping of the
+  FSI stages serialises; ``mp-shm`` runs one OS process per rank and
+  must show **real multi-core speedup (> 1.5x)** on the larger
+  workload.  The gate is enforced only where it is physically possible
+  — on hosts with at least 4 CPU cores (the GitHub runner shape); on
+  smaller hosts the measurement is recorded and reported but cannot
+  fail (``gate_enforced: false`` in the JSON says so explicitly).
+
+Run the gate locally with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.core.patterns import Pattern
 from repro.hubbard import HubbardModel, RectangularLattice
-from repro.parallel.hybrid import HybridConfig, run_fsi_fleet
+from repro.parallel.hybrid import HybridConfig, run_fsi_fleet, run_selected_fleet
 from repro.parallel.openmp import parallel_for
 from repro.parallel.simmpi import SimMPI
+
+#: Minimum mp-shm speedup over threads on the 4-rank fleet (CI gate,
+#: enforced at L = GATE_L on hosts with >= GATE_MIN_CPUS cores).
+SPEEDUP_FLOOR = 1.5
+GATE_L = 64
+GATE_MIN_CPUS = 4
 
 
 @pytest.mark.benchmark(group="simmpi")
@@ -67,3 +104,150 @@ def bench_fleet_small(benchmark):
         seed=0,
     )
     benchmark(run_fsi_fleet, model, cfg)
+
+
+def _fleet_jobs(model: HubbardModel, L: int, n_jobs: int, seed: int):
+    rng = np.random.default_rng(seed)
+    signs = np.array([-1, 1], dtype=np.int8)
+    return [
+        (rng.choice(signs, size=L * model.N), 8, Pattern.COLUMNS, i % 8)
+        for i in range(n_jobs)
+    ]
+
+
+@pytest.mark.benchmark(group="transport-fleet")
+@pytest.mark.parametrize("backend", ["threads", "mp-shm"])
+def bench_selected_fleet_backend(benchmark, backend):
+    model = HubbardModel(RectangularLattice(3, 3), L=16, U=2.0, beta=1.0)
+    jobs = _fleet_jobs(model, 16, n_jobs=4, seed=0)
+    benchmark(
+        run_selected_fleet, model, jobs, 2, 1, +1, backend
+    )
+
+
+# ----------------------------------------------------------------------
+# the CI gate
+# ----------------------------------------------------------------------
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_fleet(L: int, n_ranks: int = 4, n_jobs: int = 8,
+                  seed: int = 0, repeats: int = 3) -> dict:
+    """Best-of fleet wall clock on ``threads`` vs ``mp-shm``.
+
+    The workload is the service's execution engine
+    (:func:`run_selected_fleet`): ``n_jobs`` independent FSI solves of
+    a 4x4 Hubbard chain (N = 16, c = 8, COLUMNS) distributed blockwise
+    over ``n_ranks`` ranks, selected blocks gathered back to the root.
+    Both backends run the byte-identical rank body; a spot check
+    verifies they return the same blocks before anything is timed.
+    """
+    model = HubbardModel(RectangularLattice(4, 4), L=L, U=2.0, beta=1.0)
+    jobs = _fleet_jobs(model, L, n_jobs, seed)
+
+    outs = {}
+    times = {}
+    for backend in ("threads", "mp-shm"):
+        run = lambda: run_selected_fleet(  # noqa: E731
+            model, jobs, n_ranks=n_ranks, threads_per_rank=1,
+            transport=backend,
+        )
+        outs[backend] = run()  # warm-up (and the correctness probe)
+        times[backend] = _best_of(run, repeats=repeats)
+
+    worst = 0.0
+    for a, b in zip(outs["threads"], outs["mp-shm"]):
+        for kl, blk in a.blocks.items():
+            worst = max(worst, float(np.max(np.abs(blk - b.blocks[kl]))))
+    if worst > 1e-12:
+        raise AssertionError(
+            f"threads and mp-shm fleets disagree by {worst:.3e}"
+        )
+
+    return {
+        "L": L,
+        "N": model.N,
+        "c": 8,
+        "ranks": n_ranks,
+        "jobs": n_jobs,
+        "threads_ms": times["threads"] * 1e3,
+        "mpshm_ms": times["mp-shm"] * 1e3,
+        "speedup": times["threads"] / times["mp-shm"],
+        "max_backend_diff": worst,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero when mp-shm is below {SPEEDUP_FLOOR}x threads"
+             f" at L={GATE_L} (enforced on >= {GATE_MIN_CPUS}-core hosts)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=str(
+            Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+        ),
+        help="where to write the measurement record",
+    )
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    enforced = cpus >= GATE_MIN_CPUS
+    points = [
+        measure_fleet(
+            L, n_ranks=args.ranks, n_jobs=args.jobs,
+            seed=args.seed, repeats=args.repeats,
+        )
+        for L in (32, 64)
+    ]
+    record = {
+        "benchmark": "transport-fleet",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpus,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "gate_enforced": enforced,
+        "points": points,
+    }
+    Path(args.json_out).write_text(json.dumps(record, indent=2) + "\n")
+    for p in points:
+        print(
+            f"L={p['L']:3d}: {args.ranks}-rank fleet of {p['jobs']} solves —"
+            f" threads {p['threads_ms']:8.1f} ms,"
+            f" mp-shm {p['mpshm_ms']:8.1f} ms"
+            f" = {p['speedup']:.2f}x"
+        )
+    print(
+        f"  floor {SPEEDUP_FLOOR}x at L={GATE_L};"
+        f" {cpus} CPU core(s) -> gate"
+        f" {'ENFORCED' if enforced else 'recorded only (too few cores)'}"
+    )
+    print(f"  wrote {args.json_out}")
+    if args.check and enforced:
+        gate_point = next(p for p in points if p["L"] == GATE_L)
+        if gate_point["speedup"] < SPEEDUP_FLOOR:
+            print(
+                f"FAIL: mp-shm speedup {gate_point['speedup']:.2f}x below"
+                f" {SPEEDUP_FLOOR}x floor at L={GATE_L}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

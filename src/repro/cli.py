@@ -282,8 +282,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         backpressure=BackpressurePolicy(args.backpressure),
         cache_bytes=args.cache_mb * 1024 * 1024,
+        cache_shards=args.cache_shards,
         batch_max=args.batch_max,
         job_timeout=args.job_timeout,
+        transport=args.transport,
+        pdiv_partitions=args.pdiv_partitions,
         guards=_resolve_guards(args),
         chaos_plan=_resolve_chaos_plan(args),
     )
@@ -543,8 +546,20 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=[pol.value for pol in BackpressurePolicy],
                    default="block")
     s.add_argument("--cache-mb", type=int, default=64)
+    s.add_argument("--cache-shards", type=int, default=1,
+                   help="result-cache shards (consistent hashing over"
+                        " fingerprints)")
     s.add_argument("--batch-max", type=int, default=4)
     s.add_argument("--job-timeout", type=float, default=None)
+    s.add_argument("--transport", default=None,
+                   choices=("threads", "mp-shm", "sockets"),
+                   help="worker-fleet transport backend (default:"
+                        " $REPRO_TRANSPORT, else threads)")
+    s.add_argument("--pdiv-partitions", type=int, default=0,
+                   help=">=2 routes solves through distributed selected"
+                        " inversion (PDIV) with this many chain partitions"
+                        " (guarded solves take precedence: combine with"
+                        " --no-guards)")
     s.add_argument("--arrival", choices=("poisson", "burst", "closed"),
                    default="poisson")
     s.add_argument("--rate", type=float, default=200.0,

@@ -1,4 +1,9 @@
-"""Hybrid parallel runtime: SimMPI ranks + OpenMP-style threads."""
+"""Hybrid parallel runtime: transport ranks + OpenMP-style threads.
+
+The rank runtime itself now lives in :mod:`repro.transport` (threads,
+mp-shm, and sockets backends); this package keeps the fleet drivers and
+re-exports the historical SimMPI names.
+"""
 
 from .hybrid import (
     FleetJobOutput,
@@ -16,13 +21,22 @@ from .openmp import (
     parallel_map,
     set_max_threads,
 )
-from .simmpi import ANY_SOURCE, ANY_TAG, CommStats, Communicator, RankError, SimMPI
+from .simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommStats,
+    Communicator,
+    RankError,
+    SimMPI,
+    TransportTimeoutError,
+)
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "CommStats",
     "Communicator",
+    "TransportTimeoutError",
     "FleetJobOutput",
     "FleetMatrixError",
     "HybridConfig",

@@ -33,7 +33,8 @@ from ..hubbard.hs_field import HSField
 from ..hubbard.matrix import HubbardModel
 from ..perf.tracer import FlopTracer
 from ..telemetry import runtime as _telemetry
-from .simmpi import CommStats, Communicator, SimMPI
+from ..transport import BaseCommunicator as Communicator
+from ..transport import CommStats, create_world
 
 __all__ = [
     "HybridConfig",
@@ -54,6 +55,12 @@ class FleetMatrixError(RuntimeError):
         super().__init__(f"fleet matrix {matrix_index} failed: {original!r}")
         self.matrix_index = matrix_index
         self.original = original
+
+    def __reduce__(self):
+        # Survive the pickle round-trip across process-backed transports
+        # (default exception pickling replays the formatted message into
+        # ``__init__`` and fails on the two-argument signature).
+        return (type(self), (self.matrix_index, self.original))
 
 
 @dataclass(frozen=True)
@@ -277,6 +284,7 @@ def run_selected_fleet(
     n_ranks: int,
     threads_per_rank: int = 1,
     sigma: int = +1,
+    transport: str | None = None,
 ) -> list[FleetJobOutput]:
     """Compute selected inversions for *given* ``(h, c, pattern, q)`` jobs.
 
@@ -285,15 +293,17 @@ def run_selected_fleet(
     each job's selected blocks back to the root — it is the execution
     engine behind the service layer's micro-batching, where callers
     need the blocks themselves.  Jobs are distributed blockwise over
-    ``n_ranks`` SimMPI ranks; results come back in submission order.
+    ``n_ranks`` ranks of the named transport backend (default: the
+    ``REPRO_TRANSPORT`` environment variable, else ``threads``);
+    results come back in submission order.
     """
     if not jobs:
         return []
     n_ranks = max(1, min(n_ranks, len(jobs)))
-    world = SimMPI(n_ranks)
+    world = create_world(n_ranks, backend=transport)
     with _telemetry.span(
         "fleet.selected", jobs=len(jobs), ranks=n_ranks,
-        threads_per_rank=threads_per_rank,
+        threads_per_rank=threads_per_rank, backend=world.name,
     ):
         results = world.run(
             _selected_rank_work, model, list(jobs), threads_per_rank, sigma
@@ -303,9 +313,11 @@ def run_selected_fleet(
     return root
 
 
-def run_fsi_fleet(model: HubbardModel, cfg: HybridConfig) -> HybridReport:
-    """Launch Alg. 3 on a SimMPI world and aggregate the results."""
-    world = SimMPI(cfg.n_ranks)
+def run_fsi_fleet(
+    model: HubbardModel, cfg: HybridConfig, transport: str | None = None
+) -> HybridReport:
+    """Launch Alg. 3 on a transport world and aggregate the results."""
+    world = create_world(cfg.n_ranks, backend=transport)
     t0 = time.perf_counter()
     with _telemetry.span(
         "fleet.run", matrices=cfg.n_matrices, ranks=cfg.n_ranks

@@ -1,531 +1,41 @@
-"""SimMPI — an in-process message-passing runtime with MPI semantics.
+"""Back-compat shim — SimMPI now lives in :mod:`repro.transport`.
 
-The paper's coarse-grained level distributes thousands of independent
-Hubbard matrices over MPI ranks (Alg. 3).  ``mpi4py`` is not available
-in this environment, so this module provides a faithful stand-in: a
-thread-per-rank runtime whose :class:`Communicator` exposes the mpi4py
-surface the algorithms need —
-
-* lowercase object methods (``send``/``recv``/``bcast``/``scatter``/
-  ``gather``/``reduce``/``allreduce``) with pickle-like any-object
-  semantics, and
-* uppercase buffer methods (``Send``/``Recv``/``Bcast``/``Scatter``/
-  ``Gather``/``Reduce``) moving NumPy arrays without serialisation (the
-  mpi4py tutorial's "fast way"; here a buffer copy).
-
-Every transfer is tallied into :class:`CommStats` (message counts and
-bytes per operation) which the performance model converts into Edison
-communication time.  Rank functions run on real threads — NumPy's BLAS
-releases the GIL, so ranks genuinely overlap — and collective
-algorithms are implemented *on top of* point-to-point, so message
-tallies reflect an actual fan-in/fan-out.
-
-Deterministic by construction for the algorithms used here: collectives
-are synchronising, and point-to-point matching is FIFO per
-(source, tag).
+The thread-per-rank runtime that used to be defined here was extracted
+into the pluggable transport subsystem: the abstract communicator API,
+stats, and collectives are in :mod:`repro.transport.base`; the threads
+backend (this module's historical behaviour) is
+:mod:`repro.transport.threads`; and two real multi-process backends
+(``mp-shm``, ``sockets``) live alongside it.  Existing imports of
+``repro.parallel.simmpi`` keep working unchanged.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
-
-import numpy as np
-
-from ..telemetry import runtime as _telemetry
-from ..telemetry.context import current_context, use_context
-
-__all__ = ["SimMPI", "Communicator", "CommStats", "Request", "ANY_SOURCE", "ANY_TAG", "RankError"]
-
-ANY_SOURCE = -1
-ANY_TAG = -1
-
-
-class RankError(RuntimeError):
-    """An exception raised inside a rank function, annotated with the rank.
-
-    ``stats`` carries the world's partial :class:`CommStats` at teardown
-    — the message/byte tallies the surviving ranks had accumulated when
-    the job was aborted — so post-mortems can see how far the exchange
-    got before the failure.
-    """
-
-    def __init__(
-        self,
-        rank: int,
-        original: BaseException,
-        stats: "CommStats | None" = None,
-    ):
-        msg = f"rank {rank} failed: {original!r}"
-        if stats is not None:
-            msg += (
-                f" [partial comm: {stats.total_messages} messages,"
-                f" {stats.total_bytes} bytes]"
-            )
-        super().__init__(msg)
-        self.rank = rank
-        self.original = original
-        self.stats = stats
-
-
-@dataclass
-class CommStats:
-    """Message/byte tallies per operation kind (thread-safe)."""
-
-    messages: dict[str, int] = field(default_factory=dict)
-    bytes: dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
-
-    def record(self, op: str, nbytes: int) -> None:
-        with self._lock:
-            self.messages[op] = self.messages.get(op, 0) + 1
-            self.bytes[op] = self.bytes.get(op, 0) + nbytes
-        if _telemetry.enabled():
-            self._record_telemetry(op, nbytes)
-
-    def _record_telemetry(self, op: str, nbytes: int) -> None:
-        """Mirror the tally into the global metric registry.
-
-        Per-op counter children are cached after the first lookup so
-        the enabled path is two dict hits plus two increments.
-        """
-        cache = self.__dict__.get("_registry_children")
-        if cache is None or cache[0] is not _telemetry.registry():
-            registry = _telemetry.registry()
-            cache = (registry, {})
-            self.__dict__["_registry_children"] = cache
-        children = cache[1]
-        pair = children.get(op)
-        if pair is None:
-            registry = cache[0]
-            pair = (
-                registry.counter(
-                    "repro_simmpi_messages_total",
-                    "SimMPI messages by operation",
-                    labels=("op",),
-                ).labels(op=op),
-                registry.counter(
-                    "repro_simmpi_bytes_total",
-                    "SimMPI payload bytes by operation",
-                    labels=("op",),
-                ).labels(op=op),
-            )
-            children[op] = pair
-        pair[0].inc()
-        pair[1].inc(nbytes)
-
-    @property
-    def total_messages(self) -> int:
-        return sum(self.messages.values())
-
-    @property
-    def total_bytes(self) -> int:
-        return sum(self.bytes.values())
-
-
-def _payload_bytes(obj: Any) -> int:
-    """Approximate wire size of a message payload."""
-    if isinstance(obj, np.ndarray):
-        return obj.nbytes
-    if isinstance(obj, (bytes, bytearray)):
-        return len(obj)
-    if isinstance(obj, (list, tuple)):
-        return sum(_payload_bytes(o) for o in obj)
-    if isinstance(obj, dict):
-        return sum(_payload_bytes(v) for v in obj.values())
-    return 64  # scalar / small object estimate
-
-
-class _Aborted(RuntimeError):
-    """Raised in blocked ranks when another rank has already failed."""
-
-
-class _Mailbox:
-    """Per-rank FIFO of (source, tag, payload) with condition-variable waits.
-
-    A mailbox can be *aborted*: any blocked or future ``get`` raises
-    immediately.  The world aborts all mailboxes when a rank dies, so
-    peers blocked on a message that will never arrive fail fast instead
-    of hanging until the join timeout (real MPI likewise tears the job
-    down when one rank aborts).
-    """
-
-    def __init__(self) -> None:
-        self._items: deque[tuple[int, int, Any]] = deque()
-        self._cv = threading.Condition()
-        self._abort_reason: str | None = None
-
-    def put(self, source: int, tag: int, payload: Any) -> None:
-        with self._cv:
-            self._items.append((source, tag, payload))
-            self._cv.notify_all()
-
-    def abort(self, reason: str) -> None:
-        with self._cv:
-            self._abort_reason = reason
-            self._cv.notify_all()
-
-    def get(self, source: int, tag: int, timeout: float | None) -> tuple[int, int, Any]:
-        def match() -> int | None:
-            for idx, (s, t, _) in enumerate(self._items):
-                if (source in (ANY_SOURCE, s)) and (tag in (ANY_TAG, t)):
-                    return idx
-            return None
-
-        with self._cv:
-            idx = match()
-            while idx is None:
-                if self._abort_reason is not None:
-                    raise _Aborted(self._abort_reason)
-                if not self._cv.wait(timeout=timeout):
-                    raise TimeoutError(
-                        f"recv(source={source}, tag={tag}) timed out"
-                    )
-                idx = match()
-            item = self._items[idx]
-            del self._items[idx]
-            return item
-
-
-class Request:
-    """Handle for a non-blocking operation (mpi4py ``Request`` analogue).
-
-    ``isend`` completes immediately in this runtime (buffered send);
-    ``irecv`` completes when a matching message is drained.  ``test``
-    never blocks; ``wait`` blocks until completion and returns the
-    received object (``None`` for sends, matching mpi4py).
-    """
-
-    def __init__(self, poll: Callable[[float | None], tuple[bool, Any]]):
-        self._poll = poll
-        self._done = False
-        self._value: Any = None
-
-    def test(self) -> tuple[bool, Any]:
-        """Non-blocking completion check: ``(done, value-or-None)``."""
-        if not self._done:
-            done, value = self._poll(0.0)
-            if done:
-                self._done, self._value = True, value
-        return self._done, self._value
-
-    def wait(self, timeout: float | None = None) -> Any:
-        """Block until complete; return the received object."""
-        if not self._done:
-            done, value = self._poll(timeout)
-            if not done:  # pragma: no cover - poll(None) blocks or raises
-                raise TimeoutError("request did not complete")
-            self._done, self._value = True, value
-        return self._value
-
-
-class Communicator:
-    """One rank's view of the communicator (mpi4py-flavoured API)."""
-
-    def __init__(self, rank: int, world: "SimMPI"):
-        self._rank = rank
-        self._world = world
-        # Collective generation counter: every collective call consumes
-        # one generation on every rank (SPMD ordering requirement, as in
-        # real MPI), giving successive collectives disjoint tags so a
-        # fast rank's next collective cannot be matched into the current
-        # one.
-        self._coll_seq = 0
-
-    def _coll_tag(self) -> int:
-        tag = _TAG_COLL_BASE - self._coll_seq
-        self._coll_seq += 1
-        return tag
-
-    # -- identity -------------------------------------------------------
-    def Get_rank(self) -> int:
-        return self._rank
-
-    def Get_size(self) -> int:
-        return self._world.size
-
-    @property
-    def rank(self) -> int:
-        return self._rank
-
-    @property
-    def size(self) -> int:
-        return self._world.size
-
-    # -- point-to-point ---------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Object send (any Python object, by reference — ranks must not
-        mutate received objects they also keep; NumPy sends copy)."""
-        self._world._check_rank(dest)
-        if isinstance(obj, np.ndarray):
-            obj = obj.copy()
-        self._world.stats.record("send", _payload_bytes(obj))
-        self._world._mailboxes[dest].put(self._rank, tag, obj)
-
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
-             timeout: float | None = None) -> Any:
-        _, _, payload = self._world._mailboxes[self._rank].get(source, tag, timeout)
-        return payload
-
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
-        """Non-blocking send: buffered, completes immediately."""
-        self.send(obj, dest, tag)
-
-        def poll(_timeout: float | None) -> tuple[bool, Any]:
-            return True, None
-
-        return Request(poll)
-
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        """Non-blocking receive; complete via ``Request.test``/``wait``."""
-        box = self._world._mailboxes[self._rank]
-
-        def poll(timeout: float | None) -> tuple[bool, Any]:
-            try:
-                _, _, payload = box.get(source, tag, timeout)
-            except TimeoutError:
-                return False, None
-            return True, payload
-
-        return Request(poll)
-
-    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
-        """Buffer send (contiguous NumPy array)."""
-        buf = np.ascontiguousarray(buf)
-        self._world._check_rank(dest)
-        self._world.stats.record("Send", buf.nbytes)
-        self._world._mailboxes[dest].put(self._rank, tag, buf.copy())
-
-    def Recv(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG,
-             timeout: float | None = None) -> None:
-        _, _, payload = self._world._mailboxes[self._rank].get(source, tag, timeout)
-        incoming = np.asarray(payload)
-        if incoming.size != buf.size:
-            raise ValueError(
-                f"Recv buffer size {buf.size} != message size {incoming.size}"
-            )
-        buf.reshape(-1)[:] = incoming.reshape(-1)
-
-    # -- collectives (built on point-to-point) ----------------------------
-    def barrier(self) -> None:
-        """Linear fan-in to rank 0 then fan-out."""
-        tag = self._coll_tag()
-        self._world.stats.record("barrier", 0)
-        if self._rank == 0:
-            for r in range(1, self.size):
-                self.recv(source=r, tag=tag)
-            for r in range(1, self.size):
-                self.send(None, dest=r, tag=tag)
-        else:
-            self.send(None, dest=0, tag=tag)
-            self.recv(source=0, tag=tag)
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        self._world._check_rank(root)
-        tag = self._coll_tag()
-        if self._rank == root:
-            self._world.stats.record("bcast", _payload_bytes(obj) * (self.size - 1))
-            for r in range(self.size):
-                if r != root:
-                    self.send(obj, dest=r, tag=tag)
-            return obj
-        return self.recv(source=root, tag=tag)
-
-    def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
-        """Scatter a length-``size`` sequence; each rank gets one item."""
-        self._world._check_rank(root)
-        tag = self._coll_tag()
-        if self._rank == root:
-            if sendobj is None or len(sendobj) != self.size:
-                raise ValueError(
-                    f"scatter needs a length-{self.size} sequence on root"
-                )
-            self._world.stats.record(
-                "scatter", sum(_payload_bytes(o) for o in sendobj)
-            )
-            mine = sendobj[root]
-            for r in range(self.size):
-                if r != root:
-                    self.send(sendobj[r], dest=r, tag=tag)
-            return mine
-        return self.recv(source=root, tag=tag)
-
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        self._world._check_rank(root)
-        tag = self._coll_tag()
-        self._world.stats.record("gather", _payload_bytes(obj))
-        if self._rank == root:
-            out: list[Any] = [None] * self.size
-            out[root] = obj
-            for _ in range(self.size - 1):
-                src, _, payload = self._world._mailboxes[root].get(
-                    ANY_SOURCE, tag, None
-                )
-                out[src] = payload
-            return out
-        self._world._mailboxes[root].put(self._rank, tag, obj)
-        return None
-
-    def allgather(self, obj: Any) -> list[Any]:
-        gathered = self.gather(obj, root=0)
-        return self.bcast(gathered, root=0)
-
-    def reduce(
-        self,
-        obj: Any,
-        op: Callable[[Any, Any], Any] | None = None,
-        root: int = 0,
-    ) -> Any:
-        """Reduce with ``op`` (default: elementwise/numeric sum)."""
-        gathered = self.gather(obj, root=root)
-        if self._rank != root:
-            return None
-        assert gathered is not None
-        self._world.stats.record("reduce", _payload_bytes(obj))
-        return _fold(gathered, op)
-
-    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
-        return self.bcast(self.reduce(obj, op=op, root=0), root=0)
-
-    def Scatter(self, sendbuf: np.ndarray | None, recvbuf: np.ndarray, root: int = 0) -> None:
-        """Buffer scatter: root's ``(size, ...)`` array, one row per rank."""
-        tag = self._coll_tag()
-        if self._rank == root:
-            if sendbuf is None or sendbuf.shape[0] != self.size:
-                raise ValueError(
-                    f"Scatter sendbuf must have leading dim {self.size}"
-                )
-            self._world.stats.record("Scatter", sendbuf.nbytes)
-            for r in range(self.size):
-                if r != root:
-                    self._world._mailboxes[r].put(
-                        root, tag, np.ascontiguousarray(sendbuf[r])
-                    )
-            recvbuf[...] = sendbuf[root]
-        else:
-            _, _, payload = self._world._mailboxes[self._rank].get(
-                root, tag, None
-            )
-            recvbuf[...] = payload
-
-    def Reduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray | None, root: int = 0) -> None:
-        """Buffer sum-reduce into root's ``recvbuf``."""
-        total = self.reduce(np.ascontiguousarray(sendbuf), root=root)
-        if self._rank == root:
-            if recvbuf is None:
-                raise ValueError("root must supply recvbuf")
-            recvbuf[...] = total
-
-
-# Collective tags descend from this base, one generation per collective
-# call (see Communicator._coll_tag); user tags must be non-negative or
-# small negatives, which never collide with the descending sequence.
-_TAG_COLL_BASE = -1000
-
-
-def _fold(items: list[Any], op: Callable[[Any, Any], Any] | None) -> Any:
-    acc = items[0]
-    if isinstance(acc, np.ndarray):
-        acc = acc.copy()
-    for item in items[1:]:
-        if op is not None:
-            acc = op(acc, item)
-        elif isinstance(acc, dict):
-            acc = {k: _fold([acc[k], item[k]], None) for k in acc}
-        else:
-            acc = acc + item
-    return acc
-
-
-class SimMPI:
-    """The "world": spawns rank threads and owns mailboxes + stats.
-
-    Usage::
-
-        def main(comm):
-            if comm.rank == 0:
-                data = [i ** 2 for i in range(comm.size)]
-            else:
-                data = None
-            x = comm.scatter(data)
-            return comm.reduce(x)
-
-        results = SimMPI(4).run(main)   # list indexed by rank
-    """
-
-    def __init__(self, size: int):
-        if size < 1:
-            raise ValueError(f"world size must be >= 1, got {size}")
-        self.size = size
-        self._mailboxes = [_Mailbox() for _ in range(size)]
-        self.stats = CommStats()
-
-    def _check_rank(self, r: int) -> None:
-        if not 0 <= r < self.size:
-            raise ValueError(f"rank {r} out of range for world size {self.size}")
-
-    def run(
-        self,
-        main: Callable[..., Any],
-        *args: Any,
-        timeout: float | None = 300.0,
-    ) -> list[Any]:
-        """Run ``main(comm, *args)`` on every rank; return per-rank results.
-
-        Raises :class:`RankError` (for the lowest failing rank) if any
-        rank raises; surviving ranks are joined first.
-        """
-        results: list[Any] = [None] * self.size
-        errors: list[BaseException | None] = [None] * self.size
-        # Rank threads inherit the launching thread's span context so
-        # every per-rank span lands in the caller's trace.
-        parent_ctx = current_context()
-
-        def runner(rank: int) -> None:
-            comm = Communicator(rank, self)
-            try:
-                with use_context(parent_ctx), _telemetry.span(
-                    "simmpi.rank", rank=rank, size=self.size
-                ):
-                    results[rank] = main(comm, *args)
-            except _Aborted as exc:
-                # Secondary failure: this rank was blocked on a message
-                # from a rank that already died; not the root cause.
-                errors[rank] = exc
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
-                errors[rank] = exc
-                # Tear the job down like a real MPI abort: wake every
-                # peer blocked in a receive so the run fails fast.
-                for box in self._mailboxes:
-                    box.abort(f"rank {rank} failed: {exc!r}")
-
-        threads = [
-            threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}")
-            for r in range(self.size)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=timeout)
-            if t.is_alive():
-                raise TimeoutError(
-                    f"{t.name} did not finish within {timeout}s (deadlock?)"
-                )
-        # Report the root cause: prefer a non-_Aborted failure.
-        primary = [
-            (rank, exc)
-            for rank, exc in enumerate(errors)
-            if exc is not None and not isinstance(exc, _Aborted)
-        ]
-        secondary = [
-            (rank, exc) for rank, exc in enumerate(errors) if exc is not None
-        ]
-        if primary:
-            rank, exc = primary[0]
-            raise RankError(rank, exc, stats=self.stats) from exc
-        if secondary:  # pragma: no cover - only if abort raced oddly
-            rank, exc = secondary[0]
-            raise RankError(rank, exc, stats=self.stats) from exc
-        return results
+from ..transport.base import (  # noqa: F401 - re-exported surface
+    ANY_SOURCE,
+    ANY_TAG,
+    CommStats,
+    RankError,
+    Request,
+    TransportTimeoutError,
+    _Aborted,
+    _Mailbox,
+    _fold,
+    _payload_bytes,
+)
+from ..transport.threads import (  # noqa: F401 - re-exported surface
+    Communicator,
+    SimMPI,
+    ThreadsCommunicator,
+)
+
+__all__ = [
+    "SimMPI",
+    "Communicator",
+    "CommStats",
+    "Request",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "RankError",
+    "TransportTimeoutError",
+]

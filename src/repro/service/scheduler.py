@@ -44,7 +44,7 @@ from ..resilience.guards import GuardConfig, NumericalHealthError
 from ..resilience.health import BreakerState, CircuitBreaker, ServiceState
 from ..telemetry import runtime as _telemetry
 from ..telemetry.spans import NULL_SPAN
-from .cache import CacheStats, LRUResultCache
+from .cache import CacheStats, ShardedResultCache
 from .errors import (
     InvalidJobError,
     JobFailedError,
@@ -72,6 +72,9 @@ class ServiceConfig:
     queue_capacity: int = 256
     backpressure: BackpressurePolicy = BackpressurePolicy.BLOCK
     cache_bytes: int = 256 * 1024 * 1024
+    #: Result-cache shards (consistent hashing over fingerprints);
+    #: delta-base probes route to the shard owning the base entry.
+    cache_shards: int = 1
     batch_max: int = 4
     batch_window: float = 0.0
     job_timeout: float | None = None
@@ -80,6 +83,13 @@ class ServiceConfig:
     retry_backoff_max: float = 2.0
     fleet_ranks: int = 2
     threads_per_rank: int = 1
+    #: Transport backend for worker-side fleets (``threads`` /
+    #: ``mp-shm`` / ``sockets``); ``None`` defers to ``REPRO_TRANSPORT``.
+    transport: str | None = None
+    #: When >= 2, workers solve through :func:`~repro.core.pdiv.
+    #: fsi_distributed` with this many chain partitions instead of the
+    #: serial FSI pipeline (PDIV batches run inline, one world per job).
+    pdiv_partitions: int = 0
     task_fn: Callable = dataclass_field(default=execute_batch)
     #: When set, workers solve through ``fsi_resilient`` with these
     #: guards, and the scheduler screens results before caching them.
@@ -121,6 +131,10 @@ class ServiceConfig:
             raise ValueError("batch_max must be >= 1")
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if self.cache_shards < 1:
+            raise ValueError("cache_shards must be >= 1")
+        if self.pdiv_partitions < 0:
+            raise ValueError("pdiv_partitions must be >= 0")
         if self.delta_rank_budget < 1:
             raise ValueError("delta_rank_budget must be >= 1")
         if self.delta_max_depth < 1:
@@ -209,7 +223,14 @@ class GreensService:
         self.config = config or ServiceConfig()
         cfg = self.config
         self.metrics = ServiceMetrics()
-        self.cache = LRUResultCache(cfg.cache_bytes)
+        # Hit/miss counting lives in the cache's routing layer (once
+        # per lookup, shard-labelled) — never at the submit call sites,
+        # which would double-count routed lookups.
+        self.cache = ShardedResultCache(
+            cfg.cache_bytes,
+            shards=cfg.cache_shards,
+            on_lookup=self._count_cache_lookup,
+        )
         self._queue = BoundedPriorityQueue(cfg.queue_capacity, cfg.backpressure)
         task_fn = cfg.task_fn
         if cfg.chaos_plan is not None:
@@ -223,6 +244,8 @@ class GreensService:
             task_fn=task_fn,
             fleet_ranks=cfg.fleet_ranks,
             threads_per_rank=cfg.threads_per_rank,
+            transport=cfg.transport,
+            pdiv_partitions=cfg.pdiv_partitions,
             guards=cfg.guards,
             on_retry=lambda _n: self.metrics.retries.inc(),
         )
@@ -249,6 +272,18 @@ class GreensService:
         ]
         for thread in self._dispatchers:
             thread.start()
+
+    def _count_cache_lookup(self, shard: int, hit: bool) -> None:
+        """The single counting point for routed cache lookups.
+
+        Feeds both the shard-labelled family and the label-less
+        aggregates that drive ``hit_rate`` — one increment each per
+        lookup, regardless of how many shards the fleet has.
+        """
+        self.metrics.cache_lookups.labels(
+            shard=str(shard), outcome="hit" if hit else "miss"
+        ).inc()
+        (self.metrics.cache_hits if hit else self.metrics.cache_misses).inc()
 
     def _register_gauges(self) -> None:
         """Callback gauges over live service state (read at scrape time)."""
@@ -339,15 +374,15 @@ class GreensService:
         )
         self.metrics.submitted.inc()
 
+        # The cache's routing layer counts the hit/miss (shard-labelled,
+        # exactly once) — no metric increments here.
         cached = self.cache.get(job.fingerprint)
         if cached is not None:
             ticket.cache_hit = True
-            self.metrics.cache_hits.inc()
             ticket._resolve(cached)
             self.metrics.latency.observe(ticket.latency or 0.0)
             self.metrics.completed.inc()
             return ticket
-        self.metrics.cache_misses.inc()
 
         # Delta fast path: a request hinting at a cached base may be
         # served by a rank-k Woodbury update instead of a full solve.
@@ -369,10 +404,11 @@ class GreensService:
             # cached this fingerprint and left the in-flight table
             # between our miss above and acquiring the lock — without
             # this, that race would recompute a cached result.
-            cached = self.cache.get(job.fingerprint)
+            # count_misses=False: this request's miss was already
+            # counted above; only a rescued hit is news.
+            cached = self.cache.get(job.fingerprint, count_misses=False)
             if cached is not None:
                 ticket.cache_hit = True
-                self.metrics.cache_hits.inc()
                 ticket._resolve(cached)
                 self.metrics.latency.observe(ticket.latency or 0.0)
                 self.metrics.completed.inc()
@@ -724,6 +760,15 @@ class GreensService:
                 "bytes_budget": cache.bytes_budget,
                 "evictions": cache.evictions,
                 "drops": cache.drops,
+                "shards": [
+                    {
+                        "hits": s.hits,
+                        "misses": s.misses,
+                        "entries": s.entries,
+                        "bytes_used": s.bytes_used,
+                    }
+                    for s in self.cache.shard_stats()
+                ],
             }
         )
         data["delta"]["states"] = len(self._delta_states)

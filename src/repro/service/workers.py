@@ -58,6 +58,8 @@ def execute_job(
     num_threads: int | None = None,
     trace_ctx: dict | None = None,
     guards: GuardConfig | None = None,
+    pdiv_partitions: int = 0,
+    transport: str | None = None,
 ) -> JobResult:
     """Rebuild the model + field and run one traced FSI (worker side).
 
@@ -66,7 +68,11 @@ def execute_job(
     back in ``JobResult.spans`` so the caller can stitch one trace.
     With ``guards`` the solve runs through
     :func:`~repro.core.fsi.fsi_resilient` (health checks + the fallback
-    ladder); the serving rung is reported on ``JobResult.rung``.
+    ladder); the serving rung is reported on ``JobResult.rung``.  With
+    ``pdiv_partitions >= 2`` (and no guards — the fallback ladder is a
+    serial-path control flow) the solve routes through
+    :func:`~repro.core.pdiv.fsi_distributed` on the named ``transport``
+    backend, reported as rung ``pdiv(P)``.
     """
     # Worker-side imports keep module load light.
     from ..core.fsi import fsi, fsi_resilient
@@ -85,11 +91,21 @@ def execute_job(
                             pc, job.c, pattern=job.pattern, q=job.q,
                             num_threads=num_threads, guards=guards,
                         )
+                        rung = res.rung
+                    elif pdiv_partitions >= 2:
+                        from ..core.pdiv import fsi_distributed
+
+                        res = fsi_distributed(
+                            pc, job.c, pattern=job.pattern, q=job.q,
+                            partitions=pdiv_partitions, transport=transport,
+                        )
+                        rung = f"pdiv({res.report.partitions})"
                     else:
                         res = fsi(
                             pc, job.c, pattern=job.pattern, q=job.q,
                             num_threads=num_threads,
                         )
+                        rung = res.rung
                     elapsed = time.perf_counter() - t0
     return JobResult(
         fingerprint=job.fingerprint,
@@ -98,7 +114,7 @@ def execute_job(
         flops=tracer.total_flops,
         stage_flops={name: tracer.flops(name) for name in tracer.stages},
         exec_seconds=elapsed,
-        rung=res.rung,
+        rung=rung,
         h=job.h,
         spans=local_collector.drain() if local_collector is not None else [],
     )
@@ -110,16 +126,20 @@ def execute_batch(
     threads_per_rank: int = 1,
     trace_ctx: dict | None = None,
     guards: GuardConfig | None = None,
+    pdiv_partitions: int = 0,
+    transport: str | None = None,
 ) -> list[JobResult]:
     """Run a batch of *compatible* jobs (same ``compat_key``) in one worker.
 
     A single job (or ``fleet_ranks <= 1``) runs inline; larger batches
-    are distributed over a SimMPI fleet so compatible requests share the
-    rank/thread machinery of Alg. 3.  When ``trace_ctx`` carries a
-    sampled span context, all spans recorded in this process are
-    attached to the *first* result's ``spans`` (one drain per batch).
-    Guarded batches always run inline: the fallback ladder is a
-    per-solve control flow the fleet path does not thread through.
+    are distributed over a transport fleet (``transport`` names the
+    backend; default the ``REPRO_TRANSPORT`` environment variable) so
+    compatible requests share the rank/thread machinery of Alg. 3.
+    When ``trace_ctx`` carries a sampled span context, all spans
+    recorded in this process are attached to the *first* result's
+    ``spans`` (one drain per batch).  Guarded and PDIV batches always
+    run inline: the fallback ladder is a per-solve control flow the
+    fleet path does not thread through, and PDIV brings its own ranks.
     """
     jobs = list(jobs)
     if not jobs:
@@ -127,12 +147,13 @@ def execute_batch(
     if len({j.compat_key for j in jobs}) != 1:
         raise ValueError("execute_batch requires jobs sharing one compat_key")
     n_ranks = min(fleet_ranks, len(jobs))
-    if n_ranks <= 1 or guards is not None:
+    if n_ranks <= 1 or guards is not None or pdiv_partitions >= 2:
         with _telemetry.activate_remote(trace_ctx) as local_collector:
             with _telemetry.span("worker.batch", jobs=len(jobs)):
                 results = [
                     execute_job(
-                        job, num_threads=threads_per_rank, guards=guards
+                        job, num_threads=threads_per_rank, guards=guards,
+                        pdiv_partitions=pdiv_partitions, transport=transport,
                     )
                     for job in jobs
                 ]
@@ -153,6 +174,7 @@ def execute_batch(
                 n_ranks=n_ranks,
                 threads_per_rank=threads_per_rank,
                 sigma=jobs[0].spec.sigma,
+                transport=transport,
             )
     results = [
         JobResult(
@@ -177,6 +199,8 @@ def chaos_batch_task(
     threads_per_rank: int = 1,
     trace_ctx: dict | None = None,
     guards: GuardConfig | None = None,
+    pdiv_partitions: int = 0,
+    transport: str | None = None,
     plan: FaultPlan | None = None,
 ) -> list[JobResult]:
     """:func:`execute_batch` under a deterministic :class:`FaultPlan`.
@@ -203,6 +227,7 @@ def chaos_batch_task(
         return execute_batch(
             jobs, fleet_ranks, threads_per_rank,
             trace_ctx=trace_ctx, guards=guards,
+            pdiv_partitions=pdiv_partitions, transport=transport,
         )
 
 
@@ -232,6 +257,8 @@ class WorkerPool:
         task_fn: Callable[..., list[JobResult]] = execute_batch,
         fleet_ranks: int = 1,
         threads_per_rank: int = 1,
+        transport: str | None = None,
+        pdiv_partitions: int = 0,
         guards: GuardConfig | None = None,
         on_retry: Callable[[int], None] | None = None,
     ):
@@ -247,6 +274,8 @@ class WorkerPool:
         self._task_fn = task_fn
         self._fleet_ranks = fleet_ranks
         self._threads_per_rank = threads_per_rank
+        self._transport = transport
+        self._pdiv_partitions = pdiv_partitions
         self._guards = guards
         self._on_retry = on_retry
         # Custom task_fns (tests, chaos drills) may predate telemetry or
@@ -295,6 +324,10 @@ class WorkerPool:
             kwargs["trace_ctx"] = trace_ctx
         if self._guards is not None and "guards" in self._task_params:
             kwargs["guards"] = self._guards
+        if self._transport is not None and "transport" in self._task_params:
+            kwargs["transport"] = self._transport
+        if self._pdiv_partitions >= 2 and "pdiv_partitions" in self._task_params:
+            kwargs["pdiv_partitions"] = self._pdiv_partitions
         while True:
             executor, generation = self._current()
             try:

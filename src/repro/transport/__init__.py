@@ -1,0 +1,54 @@
+"""Pluggable multi-process transport for the fleet drivers and service.
+
+Backends (see :mod:`repro.transport.base` for the selection registry):
+
+* ``threads`` — :class:`repro.transport.threads.SimMPI`, thread-per-rank
+  in this process (the historical simulator, now one conforming
+  implementation among three);
+* ``mp-shm`` — one forked OS process per rank, pickled objects over
+  pipes, large NumPy buffers via ``multiprocessing.shared_memory``;
+* ``sockets`` — one forked OS process per rank, localhost TCP with
+  length-prefixed pickle frames and a ``host:port`` rank map.
+
+``create_world(size)`` honours the ``REPRO_TRANSPORT`` environment
+variable; telemetry span contexts propagate across process boundaries
+via ``inject``/``activate_remote`` so traces stitch regardless of the
+backend.
+"""
+
+from .base import (
+    ANY_SOURCE,
+    ANY_TAG,
+    TRANSPORT_ENV,
+    BaseCommunicator,
+    CommStats,
+    RankError,
+    Request,
+    Transport,
+    TransportTimeoutError,
+    available_backends,
+    create_world,
+    default_backend,
+    get_transport,
+    register_backend,
+)
+from .threads import SimMPI, ThreadsCommunicator
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "TRANSPORT_ENV",
+    "BaseCommunicator",
+    "CommStats",
+    "RankError",
+    "Request",
+    "Transport",
+    "TransportTimeoutError",
+    "available_backends",
+    "create_world",
+    "default_backend",
+    "get_transport",
+    "register_backend",
+    "SimMPI",
+    "ThreadsCommunicator",
+]

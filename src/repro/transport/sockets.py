@@ -1,0 +1,146 @@
+"""``sockets`` backend — one OS process per rank over localhost TCP.
+
+Frames are length-prefixed: an 8-byte little-endian size header
+followed by a pickled tuple (see :class:`~repro.transport.process.
+ChannelSet` for the frame grammar).  The parent binds one listening
+socket per rank before the fork and publishes the resulting
+``{rank: (host, port)}`` *rank map*; a deterministic mesh handshake
+then connects every pair exactly once — rank ``r`` dials every lower
+rank (announcing itself with a ``hello`` frame) and accepts from every
+higher one.
+
+The rank map may also be supplied explicitly (``rank_map={0: ("...",
+5000), ...}``), which pins the ports — the runner here still forks
+local processes, but the wire format and the map are exactly what a
+multi-machine launcher would use; see ``docs/transport.md``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+from .base import register_backend
+from .process import ChannelSet, ProcessWorld
+
+__all__ = ["SocketTransport"]
+
+_HEADER = struct.Struct("<Q")
+#: How long setup-time dials/accepts may block before the world is
+#: declared broken (independent of the run timeout).
+_HANDSHAKE_TIMEOUT = 60.0
+
+
+def _send_frame(sock: socket.socket, frame: tuple) -> None:
+    data = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise EOFError("socket closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> tuple:
+    (length,) = _HEADER.unpack(_read_exact(sock, _HEADER.size))
+    return pickle.loads(_read_exact(sock, length))
+
+
+class _SocketChannelSet(ChannelSet):
+    def __init__(self, rank: int, size: int, peers: dict[int, socket.socket]):
+        super().__init__(rank, size)
+        self._peers = peers
+
+    def _send_obj(self, peer: int, frame: tuple) -> None:
+        _send_frame(self._peers[peer], frame)
+
+    def _recv_obj(self, peer: int) -> tuple:
+        return _recv_frame(self._peers[peer])
+
+    def _close_peer(self, peer: int) -> None:
+        sock = self._peers[peer]
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        sock.close()
+
+
+class SocketTransport(ProcessWorld):
+    """Process-per-rank world over length-prefixed TCP frames."""
+
+    name = "sockets"
+
+    def __init__(
+        self,
+        size: int,
+        rank_map: dict[int, tuple[str, int]] | None = None,
+        host: str = "127.0.0.1",
+    ):
+        super().__init__(size)
+        self._rank_map_cfg = rank_map
+        self._host = host
+        #: The effective ``{rank: (host, port)}`` map of the last
+        #: ``run`` (ephemeral ports are resolved at bind time).
+        self.rank_map: dict[int, tuple[str, int]] | None = None
+
+    def _make_endpoints(self):
+        listeners: list[socket.socket] = []
+        rank_map: dict[int, tuple[str, int]] = {}
+        for r in range(self.size):
+            s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self._rank_map_cfg is not None:
+                host, port = self._rank_map_cfg[r]
+            else:
+                host, port = self._host, 0
+            s.bind((host, port))
+            s.listen(self.size)
+            listeners.append(s)
+            rank_map[r] = s.getsockname()[:2]
+        self.rank_map = rank_map
+        return listeners, rank_map
+
+    def _child_channels(self, rank: int, endpoints) -> _SocketChannelSet:
+        listeners, rank_map = endpoints
+        for r, listener in enumerate(listeners):
+            if r != rank:
+                listener.close()
+        peers: dict[int, socket.socket] = {}
+        # Dial every lower rank: its listener queued the connection the
+        # moment the kernel saw it, so ordering cannot deadlock.
+        for lower in range(rank):
+            sock = socket.create_connection(
+                rank_map[lower], timeout=_HANDSHAKE_TIMEOUT
+            )
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            _send_frame(sock, ("hello", rank))
+            peers[lower] = sock
+        own = listeners[rank]
+        own.settimeout(_HANDSHAKE_TIMEOUT)
+        for _ in range(self.size - 1 - rank):
+            sock, _addr = own.accept()
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = _recv_frame(sock)
+            if hello[0] != "hello":  # pragma: no cover - stray connection
+                sock.close()
+                raise RuntimeError(f"rank {rank} expected hello, got {hello[0]!r}")
+            peers[hello[1]] = sock
+        own.close()
+        return _SocketChannelSet(rank, self.size, peers)
+
+    def _parent_release_endpoints(self, endpoints) -> None:
+        for listener in endpoints[0]:
+            listener.close()
+
+
+register_backend(SocketTransport.name, SocketTransport)

@@ -1,0 +1,165 @@
+"""PDIV distributed selected inversion vs. the serial FSI reference.
+
+The acceptance bar from the issue: ``fsi_distributed`` matches ``fsi``
+to 1e-10 on random p-cyclic chains with L >= 32 and 4 partitions, for
+every selection pattern, over the real transport backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Pattern,
+    fsi,
+    fsi_distributed,
+    partition_bounds,
+    random_pcyclic,
+)
+from repro.core.pdiv import PDIVResult
+from repro.telemetry import runtime as _telemetry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_telemetry():
+    _telemetry.reset()
+    yield
+    _telemetry.reset()
+
+
+def _max_err(result: PDIVResult, ref) -> float:
+    return max(
+        float(np.max(np.abs(result.selected[kl] - ref.selected[kl])))
+        for kl in ref.selection.block_indices()
+    )
+
+
+class TestPartitionBounds:
+    def test_even_split(self):
+        assert partition_bounds(32, 4) == [(1, 8), (9, 16), (17, 24), (25, 32)]
+
+    def test_remainder_goes_to_low_partitions(self):
+        assert partition_bounds(10, 3) == [(1, 4), (5, 7), (8, 10)]
+
+    def test_covers_chain_exactly(self):
+        for L in (7, 16, 33):
+            for P in (1, 2, 5, 7):
+                bounds = partition_bounds(L, P)
+                slices = [g for lo, hi in bounds for g in range(lo, hi + 1)]
+                assert slices == list(range(1, L + 1))
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            partition_bounds(8, 0)
+        with pytest.raises(ValueError):
+            partition_bounds(8, 9)
+
+
+class TestInlineAgreement:
+    """ranks=1 exercises the full Woodbury stitch without a world."""
+
+    @pytest.mark.parametrize("pattern", list(Pattern))
+    def test_matches_fsi_four_partitions(self, pattern):
+        pc = random_pcyclic(32, 3, rng=np.random.default_rng(7), scale=0.4)
+        ref = fsi(pc, 4, pattern=pattern, q=1)
+        got = fsi_distributed(
+            pc, 4, pattern=pattern, q=1, partitions=4, ranks=1
+        )
+        assert _max_err(got, ref) < 1e-10
+        assert got.selection == ref.selection
+
+    def test_single_partition_degenerates_exactly(self):
+        # P=1: the bridge coupling and its cancellation collapse, the
+        # capacitance is the identity, and the correction vanishes.
+        pc = random_pcyclic(32, 2, rng=np.random.default_rng(3), scale=0.4)
+        ref = fsi(pc, 8, pattern=Pattern.COLUMNS, q=0)
+        got = fsi_distributed(
+            pc, 8, pattern=Pattern.COLUMNS, q=0, partitions=1, ranks=1
+        )
+        assert got.report.capacitance_cond == 1.0
+        assert _max_err(got, ref) < 1e-10
+
+    def test_uneven_chain_length(self):
+        pc = random_pcyclic(33, 2, rng=np.random.default_rng(5), scale=0.4)
+        ref = fsi(pc, 3, pattern=Pattern.ROWS, q=2)
+        got = fsi_distributed(
+            pc, 3, pattern=Pattern.ROWS, q=2, partitions=4, ranks=1
+        )
+        assert got.report.bounds == [(1, 9), (10, 17), (18, 25), (26, 33)]
+        assert _max_err(got, ref) < 1e-10
+
+    def test_one_slice_partitions(self):
+        # Degenerate L_p = 1 partitions hit the solver's L==1 LU path.
+        pc = random_pcyclic(8, 2, rng=np.random.default_rng(9), scale=0.3)
+        ref = fsi(pc, 2, pattern=Pattern.FULL_DIAGONAL, q=0)
+        got = fsi_distributed(
+            pc, 2, pattern=Pattern.FULL_DIAGONAL, q=0, partitions=8, ranks=1
+        )
+        assert _max_err(got, ref) < 1e-10
+
+    def test_partitions_clamped_to_L(self):
+        pc = random_pcyclic(4, 2, rng=np.random.default_rng(11), scale=0.3)
+        got = fsi_distributed(
+            pc, 2, pattern=Pattern.DIAGONAL, q=0, partitions=16, ranks=1
+        )
+        assert got.report.partitions == 4
+
+    def test_q_drawn_when_none(self):
+        pc = random_pcyclic(8, 2, rng=np.random.default_rng(1), scale=0.3)
+        got = fsi_distributed(
+            pc, 4, pattern=Pattern.DIAGONAL, rng=123, partitions=2, ranks=1
+        )
+        ref = fsi(pc, 4, pattern=Pattern.DIAGONAL, rng=123)
+        assert got.selection == ref.selection
+
+    def test_rejects_bad_c(self):
+        pc = random_pcyclic(8, 2, rng=np.random.default_rng(1), scale=0.3)
+        with pytest.raises(ValueError, match="divisor"):
+            fsi_distributed(pc, 3, partitions=2, ranks=1)
+
+
+class TestDistributed:
+    """The same math through real transport worlds."""
+
+    @pytest.mark.parametrize("backend", ["threads", "mp-shm"])
+    def test_matches_fsi_over_world(self, backend):
+        pc = random_pcyclic(32, 3, rng=np.random.default_rng(7), scale=0.4)
+        ref = fsi(pc, 4, pattern=Pattern.COLUMNS, q=2)
+        got = fsi_distributed(
+            pc, 4, pattern=Pattern.COLUMNS, q=2,
+            partitions=4, ranks=4, transport=backend,
+        )
+        assert _max_err(got, ref) < 1e-10
+        assert got.report.backend == backend
+        assert got.report.ranks == 4
+        # The scatter/gather really went over the wire.
+        assert got.report.comm is not None
+        assert got.report.comm.messages["send"] > 0
+
+    def test_fewer_ranks_than_partitions(self):
+        pc = random_pcyclic(32, 2, rng=np.random.default_rng(13), scale=0.4)
+        ref = fsi(pc, 4, pattern=Pattern.ROWS, q=0)
+        got = fsi_distributed(
+            pc, 4, pattern=Pattern.ROWS, q=0,
+            partitions=4, ranks=3, transport="threads",
+        )
+        assert _max_err(got, ref) < 1e-10
+
+    def test_inline_report_has_no_comm(self):
+        pc = random_pcyclic(8, 2, rng=np.random.default_rng(2), scale=0.3)
+        got = fsi_distributed(
+            pc, 4, pattern=Pattern.DIAGONAL, q=0, partitions=2, ranks=1
+        )
+        assert got.report.backend == "inline"
+        assert got.report.comm is None
+
+    def test_emits_pdiv_spans(self):
+        pc = random_pcyclic(16, 2, rng=np.random.default_rng(4), scale=0.4)
+        _telemetry.configure(enabled=True)
+        fsi_distributed(
+            pc, 4, pattern=Pattern.DIAGONAL, q=0, partitions=2, ranks=2,
+            transport="threads",
+        )
+        names = [s["name"] for s in _telemetry.collector().snapshot()]
+        assert "pdiv" in names
+        assert "pdiv.stitch" in names
+        assert names.count("pdiv.partition") == 2

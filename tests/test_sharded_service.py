@@ -1,0 +1,248 @@
+"""Sharded result cache + PDIV/transport service wiring.
+
+Covers the fleet-serving additions:
+
+* consistent-hash routing (stability, spread, minimal remap on grow);
+* count-once hit/miss accounting at the routing layer (the shards'
+  own counters stay silent) with a ``shard`` label;
+* delta-base probes landing on the owning shard by construction;
+* the scheduler solving through PDIV (``pdiv_partitions >= 2``) and
+  over a named transport backend, verified against the FSI oracle;
+* one serve request through an mp-shm fleet producing a single
+  stitched trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.fsi import fsi
+from repro.core.patterns import Pattern
+from repro.hubbard.hs_field import HSField
+from repro.service import (
+    GreensJob,
+    GreensService,
+    JobResult,
+    ModelSpec,
+    ServiceConfig,
+    ShardedResultCache,
+)
+from repro.telemetry import runtime as _telemetry
+
+SPEC = ModelSpec(nx=2, ny=2, L=8, t=1.0, U=2.0, beta=1.0)
+
+
+def make_job(seed: int, c: int = 4, pattern: Pattern = Pattern.DIAGONAL,
+             q: int = 0, spec: ModelSpec = SPEC) -> GreensJob:
+    field = HSField.random(spec.L, spec.N, np.random.default_rng(seed))
+    return GreensJob.from_field(spec, field, c=c, pattern=pattern, q=q)
+
+
+def oracle_blocks(job: GreensJob) -> dict:
+    model = job.spec.build_model()
+    pc = model.build_matrix(job.field(), job.spec.sigma)
+    res = fsi(pc, job.c, pattern=job.pattern, q=job.q, num_threads=1)
+    return dict(res.selected.items())
+
+
+def result_of_bytes(fp: str, n: int) -> JobResult:
+    job = make_job(seed=0)
+    return JobResult(
+        fingerprint=fp,
+        selection=job.selection,
+        blocks={(1, 1): np.zeros(n // 8, dtype=np.float64)},
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_telemetry():
+    _telemetry.reset()
+    yield
+    _telemetry.reset()
+
+
+# ----------------------------------------------------------------------
+class TestShardedCacheRouting:
+    def test_routing_is_stable_and_total(self):
+        cache = ShardedResultCache(1 << 20, shards=4)
+        keys = [f"fp-{i}" for i in range(200)]
+        owners = [cache.shard_for(k) for k in keys]
+        assert owners == [cache.shard_for(k) for k in keys]
+        assert all(0 <= s < 4 for s in owners)
+        # 200 keys over 4 shards: every shard owns some of the keyspace.
+        assert len(set(owners)) == 4
+
+    def test_consistent_hashing_minimal_remap(self):
+        # Growing the fleet n -> n+1 must remap only a minority of
+        # keys — the property that distinguishes ring hashing from
+        # ``hash(key) % n`` (which remaps ~n/(n+1) of them).
+        keys = [f"fp-{i}" for i in range(1000)]
+        before = ShardedResultCache(1 << 20, shards=4)
+        after = ShardedResultCache(1 << 20, shards=5)
+        moved = sum(
+            before.shard_for(k) != after.shard_for(k) for k in keys
+        )
+        assert moved / len(keys) < 0.5
+
+    def test_put_lands_on_owning_shard(self):
+        cache = ShardedResultCache(1 << 20, shards=4)
+        res = result_of_bytes("some-fingerprint", 128)
+        cache.put(res)
+        owner = cache.shard_for("some-fingerprint")
+        assert "some-fingerprint" in cache.shards[owner]
+        for s, shard in enumerate(cache.shards):
+            if s != owner:
+                assert "some-fingerprint" not in shard
+
+    def test_delta_base_probe_finds_owning_shard(self):
+        # The whole point of fingerprint sharding: a peek for a base
+        # fingerprint routes to the shard that stored it — no scan.
+        cache = ShardedResultCache(1 << 20, shards=8)
+        for i in range(20):
+            cache.put(result_of_bytes(f"base-{i}", 128))
+        for i in range(20):
+            assert cache.peek(f"base-{i}") is not None
+
+    def test_budget_split_across_shards(self):
+        cache = ShardedResultCache(1001, shards=4)
+        assert sum(s.max_bytes for s in cache.shards) == 1001
+        assert cache.stats().bytes_budget == 1001
+
+    def test_single_shard_degenerates(self):
+        cache = ShardedResultCache(1 << 20, shards=1)
+        cache.put(result_of_bytes("a", 128))
+        assert cache.get("a") is not None
+        assert cache.shard_for("anything") == 0
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedResultCache(1 << 20, shards=0)
+
+
+class TestShardedCacheCounting:
+    """Satellite: lookups counted exactly once, at the routing layer."""
+
+    def test_count_once_with_shard_label(self):
+        seen: list[tuple[int, bool]] = []
+        cache = ShardedResultCache(
+            1 << 20, shards=4, on_lookup=lambda s, hit: seen.append((s, hit))
+        )
+        assert cache.get("k") is None
+        cache.put(result_of_bytes("k", 128))
+        assert cache.get("k") is not None
+        owner = cache.shard_for("k")
+        assert seen == [(owner, False), (owner, True)]
+        # Aggregate counts exactly one hit and one miss...
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        # ...attributed to the owning shard...
+        per = cache.shard_stats()
+        assert (per[owner].hits, per[owner].misses) == (1, 1)
+        # ...and the shard caches themselves counted NOTHING (their
+        # internal get() was bypassed) — no double counting possible.
+        for shard in cache.shards:
+            internal = (shard._hits, shard._misses)
+            assert internal == (0, 0)
+
+    def test_peek_is_uncounted(self):
+        cache = ShardedResultCache(1 << 20, shards=2)
+        cache.put(result_of_bytes("k", 128))
+        assert cache.peek("k") is not None
+        assert cache.peek("missing") is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_recheck_miss_not_double_counted(self):
+        cache = ShardedResultCache(1 << 20, shards=2)
+        assert cache.get("k") is None                       # counted
+        assert cache.get("k", count_misses=False) is None   # not counted
+        assert cache.stats().misses == 1
+        cache.put(result_of_bytes("k", 128))
+        assert cache.get("k", count_misses=False) is not None  # hits count
+        assert cache.stats().hits == 1
+
+    def test_clear_resets_router_counters(self):
+        cache = ShardedResultCache(1 << 20, shards=2)
+        cache.put(result_of_bytes("k", 128))
+        cache.get("k")
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (0, 0, 0)
+
+
+# ----------------------------------------------------------------------
+class TestShardedService:
+    def test_sharded_service_counts_hits_once(self):
+        cfg = ServiceConfig(workers=1, cache_shards=4, fleet_ranks=1)
+        job = make_job(seed=7)
+        with GreensService(cfg) as svc:
+            first = svc.submit(job)
+            first.result(timeout=60.0)
+            second = svc.submit(job)
+            second.result(timeout=60.0)
+            assert second.cache_hit
+            stats = svc.stats()
+        assert stats["cache"]["hits"] == 1
+        # Shard-labelled family agrees with the aggregate exactly.
+        lookups = {
+            values: child.value
+            for values, child in svc.metrics.cache_lookups.samples()
+        }
+        owner = str(svc.cache.shard_for(job.fingerprint))
+        assert lookups.get((owner, "hit")) == 1
+        total = stats["cache"]["hits"] + stats["cache"]["misses"]
+        assert sum(lookups.values()) == total
+        # Per-shard breakdown is exposed in stats().
+        shard_rows = stats["cache"]["shards"]
+        assert len(shard_rows) == 4
+        assert sum(r["hits"] for r in shard_rows) == 1
+
+    def test_pdiv_serving_matches_oracle(self):
+        spec = ModelSpec(nx=2, ny=2, L=16, t=1.0, U=2.0, beta=1.0)
+        job = make_job(seed=11, c=4, pattern=Pattern.COLUMNS, q=1, spec=spec)
+        cfg = ServiceConfig(
+            workers=1, fleet_ranks=1, pdiv_partitions=2, transport="threads"
+        )
+        with GreensService(cfg) as svc:
+            res = svc.submit(job).result(timeout=120.0)
+        assert res.rung == "pdiv(2)"
+        expect = oracle_blocks(job)
+        assert set(res.blocks) == set(expect)
+        for kl, blk in expect.items():
+            np.testing.assert_allclose(res.blocks[kl], blk, atol=1e-10)
+
+    def test_mpshm_fleet_produces_single_stitched_trace(self):
+        # The tentpole acceptance: one serve request through an mp-shm
+        # fleet yields ONE trace spanning scheduler -> pool worker ->
+        # transport world -> every rank.
+        telemetry.configure(sample_rate=1.0)
+        jobs = [make_job(seed=100 + i) for i in range(2)]
+        cfg = ServiceConfig(
+            workers=1, fleet_ranks=2, batch_max=2, batch_window=0.25,
+            transport="mp-shm",
+        )
+        with GreensService(cfg) as svc:
+            tickets = [svc.submit(j) for j in jobs]
+            results = [t.result(timeout=120.0) for t in tickets]
+        for job, res in zip(jobs, results):
+            expect = oracle_blocks(job)
+            for kl, blk in expect.items():
+                np.testing.assert_allclose(res.blocks[kl], blk, atol=1e-10)
+        # Find the trace holding the transport spans; it must also hold
+        # the request-side spans — i.e. everything stitched together.
+        traces = _telemetry.collector().traces()
+        fleet_traces = [
+            spans for spans in traces.values()
+            if any(s["name"] == "transport.world" for s in spans)
+        ]
+        assert len(fleet_traces) == 1
+        names = {s["name"] for s in fleet_traces[0]}
+        assert {
+            "service.request", "service.dispatch", "worker.batch",
+            "fleet.selected", "transport.world", "transport.rank",
+        } <= names
+        ranks = [s for s in fleet_traces[0] if s["name"] == "transport.rank"]
+        assert len(ranks) == 2
+        assert all(s["attributes"]["backend"] == "mp-shm" for s in ranks)
