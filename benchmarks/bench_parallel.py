@@ -155,10 +155,11 @@ def measure_fleet(L: int, n_ranks: int = 4, n_jobs: int = 8,
     outs = {}
     times = {}
     for backend in ("threads", "mp-shm"):
-        run = lambda: run_selected_fleet(  # noqa: E731
-            model, jobs, n_ranks=n_ranks, threads_per_rank=1,
-            transport=backend,
-        )
+        def run(backend: str = backend):
+            return run_selected_fleet(
+                model, jobs, n_ranks=n_ranks, threads_per_rank=1,
+                transport=backend,
+            )
         outs[backend] = run()  # warm-up (and the correctness probe)
         times[backend] = _best_of(run, repeats=repeats)
 

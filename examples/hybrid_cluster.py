@@ -56,7 +56,7 @@ print(f"{'N':>6s} {'mem/rank':>10s}  " + "  ".join(
 for N in (400, 576, 784, 1024):
     mem = fsi_rank_memory_bytes(N, 100, 10, Pattern.COLUMNS)
     cells = []
-    for ranks, threads in ((200, 12), (400, 6), (800, 3), (1200, 2), (2400, 1)):
+    for ranks, _threads in ((200, 12), (400, 6), (800, 3), (1200, 2), (2400, 1)):
         ranks_per_socket = ranks // 100 // 2 or 1
         ok = EDISON.fits_on_socket(ranks_per_socket, mem)
         cells.append(" fits " if ok else " OOM  ")

@@ -1,0 +1,43 @@
+"""repro.analysis — the codebase's invariant linter.
+
+An AST-based static-analysis framework that mechanically enforces the
+numerical, concurrency, and telemetry contracts PRs 1–7 established as
+reviewer folklore.  Entry points:
+
+* ``repro lint [paths] [--rule ID] [--baseline] [--format ...]`` — the
+  CLI (see :mod:`repro.analysis.cli`);
+* :func:`analyze_paths` + :data:`~repro.analysis.rules.ALL_RULES` —
+  the library API the fixture tests drive.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+suppression / baseline workflow.
+"""
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineEntry, finding_key
+from .engine import (
+    ENGINE_RULE_ID,
+    FileContext,
+    Finding,
+    Rule,
+    analyze_file,
+    analyze_paths,
+)
+from .reporters import REPORTERS
+from .rules import ALL_RULES, default_rules, rule_classes
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "ENGINE_RULE_ID",
+    "FileContext",
+    "Finding",
+    "REPORTERS",
+    "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "default_rules",
+    "finding_key",
+    "rule_classes",
+]

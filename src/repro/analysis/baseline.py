@@ -1,0 +1,152 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the linter land with the tree *as it is*: every
+pre-existing finding that is deliberately not being fixed yet is
+recorded once, reviewed in the PR that writes it, and fails the build
+the moment a *new* instance appears.  The repo's goal is an empty (or
+near-empty, reason-annotated) baseline — see ``analysis-baseline.json``
+at the repo root.
+
+Entries are keyed by ``(rule, path, content-hash)`` where the hash
+covers the *stripped source line*, so a baselined finding survives
+edits elsewhere in the file but expires when its own line changes —
+the natural moment to fix it.  Matching is multiset matching: two
+identical lines in one file need two entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .engine import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Baseline",
+    "BaselineEntry",
+    "finding_key",
+]
+
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+_VERSION = 1
+
+
+def _content_hash(rule: str, path: str, snippet: str) -> str:
+    digest = hashlib.sha256(
+        "\x1f".join((rule, path, snippet)).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def finding_key(finding: Finding) -> tuple[str, str, str]:
+    """The baseline identity of a finding (line numbers excluded)."""
+    return (
+        finding.rule,
+        finding.path,
+        _content_hash(finding.rule, finding.path, finding.snippet),
+    )
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    hash: str
+    note: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.hash)
+
+
+class Baseline:
+    """In-memory view of the baseline file."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()):
+        self.entries = list(entries)
+
+    # -- construction ------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline format in {path}:"
+                f" expected {{'version': {_VERSION}, ...}}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(e["rule"]),
+                path=str(e["path"]),
+                hash=str(e["hash"]),
+                note=str(e.get("note", "")),
+            )
+            for e in raw.get("entries", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], note: str = ""
+    ) -> "Baseline":
+        """Build a baseline grandfathering every *active* finding."""
+        entries = [
+            BaselineEntry(*finding_key(f), note=note)
+            for f in findings
+            if f.active
+        ]
+        entries.sort(key=lambda e: e.key)
+        return cls(entries)
+
+    # -- persistence -------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "hash": e.hash,
+                    "note": e.note,
+                }
+                for e in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    # -- application -------------------------------------------------
+    def apply(self, findings: Sequence[Finding]) -> tuple[list[Finding], list[BaselineEntry]]:
+        """Mark baselined findings; also return stale (unmatched) entries.
+
+        Multiset semantics: an entry covers at most one finding, so a
+        second identical violation in the same file is *new* and fails
+        the run.  Stale entries — grandfathered findings that no longer
+        exist — are returned so reporters can nag for their removal
+        without failing the build.
+        """
+        budget = Counter(e.key for e in self.entries)
+        out: list[Finding] = []
+        for f in findings:
+            key = finding_key(f)
+            if f.active and budget.get(key, 0) > 0:
+                budget[key] -= 1
+                out.append(replace(f, baselined=True))
+            else:
+                out.append(f)
+        stale = []
+        remaining = Counter(budget)
+        for e in self.entries:
+            if remaining.get(e.key, 0) > 0:
+                remaining[e.key] -= 1
+                stale.append(e)
+        return out, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

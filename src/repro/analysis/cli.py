@@ -1,0 +1,147 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes: 0 — clean (no active findings), 1 — active findings,
+2 — usage error (unknown rule, unreadable baseline).  ``--check`` is
+an explicit alias of the default behaviour for CI readability.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Sequence
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import Finding
+from .reporters import REPORTERS
+from .rules import default_rules, rule_classes
+
+__all__ = ["add_lint_parser", "run_lint", "main"]
+
+
+def add_lint_parser(subparsers) -> argparse.ArgumentParser:
+    p = subparsers.add_parser(
+        "lint",
+        help="run the repro.analysis invariant linter",
+        description=(
+            "Statically check the repo's numerical/concurrency/telemetry"
+            " invariants (rules RPR001..RPR008). Exit 1 on any active"
+            " finding; see docs/static-analysis.md."
+        ),
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    p.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only this rule (repeatable, e.g. --rule RPR004)",
+    )
+    p.add_argument(
+        "--baseline", nargs="?", const=DEFAULT_BASELINE_NAME,
+        default=None, metavar="PATH",
+        help=(
+            "apply the committed baseline of grandfathered findings"
+            f" (default path: {DEFAULT_BASELINE_NAME})"
+        ),
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file to cover all current findings",
+    )
+    p.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="parallel analysis workers (default: one per CPU)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="fail on active findings (the default; explicit for CI)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return p
+
+
+def _list_rules(stream: IO[str]) -> int:
+    for cls in rule_classes().values():
+        stream.write(f"{cls.id}  {cls.title}\n")
+        stream.write(f"       {cls.invariant}\n")
+    return 0
+
+
+def run_lint(ns: argparse.Namespace, stream: IO[str] | None = None) -> int:
+    from .engine import analyze_paths  # local: keeps --list-rules instant
+
+    out = stream if stream is not None else sys.stdout
+    if ns.list_rules:
+        return _list_rules(out)
+
+    rules = default_rules()
+    if ns.rule:
+        wanted = {r.upper() for r in ns.rule}
+        known = set(rule_classes())
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"repro lint: unknown rule(s): {', '.join(sorted(unknown))};"
+                f" known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [r for r in rules if r.id in wanted]
+
+    findings: list[Finding] = analyze_paths(
+        ns.paths,
+        rules,
+        jobs=ns.jobs or None,
+        # A suppression for an unselected rule is not "unused".
+        check_unused_suppressions=not ns.rule,
+    )
+
+    if ns.write_baseline:
+        path = ns.baseline or DEFAULT_BASELINE_NAME
+        Baseline.from_findings(findings).save(path)
+        print(f"wrote {path} covering "
+              f"{sum(1 for f in findings if f.active)} finding(s)", file=out)
+        return 0
+
+    stale = []
+    if ns.baseline is not None:
+        try:
+            baseline = Baseline.load(ns.baseline)
+        except FileNotFoundError:
+            print(
+                f"repro lint: baseline file not found: {ns.baseline}"
+                " (create it with --write-baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        findings, stale = baseline.apply(findings)
+
+    REPORTERS[ns.format](findings, stale, out)
+    return 1 if any(f.active for f in findings) else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(prog="repro-lint")
+    sub = parser.add_subparsers(dest="cmd", required=False)
+    add_lint_parser(sub)
+    args = list(argv) if argv is not None else sys.argv[1:]
+    if not args or args[0] != "lint":
+        args = ["lint", *args]
+    ns = parser.parse_args(args)
+    return run_lint(ns)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

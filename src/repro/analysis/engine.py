@@ -1,0 +1,347 @@
+"""The analysis engine: rule plugins, suppressions, parallel file runs.
+
+A :class:`Rule` is one mechanically checkable invariant of this
+codebase (see :mod:`repro.analysis.rules` for the catalogue).  The
+engine owns everything rules share:
+
+* parsing each file once into an ``ast`` tree and handing rules a
+  :class:`FileContext` (path, source, tree, split lines);
+* per-file parallelism — files are independent, so a thread pool maps
+  :func:`analyze_file` over the worklist;
+* inline suppressions — ``# repro: ignore[RPR003]: reason`` disables
+  named rules for the line it sits on (or, on its own line, for the
+  next code line).  A suppression **must carry a reason**; a bare
+  ``ignore[...]`` and an unused suppression are themselves findings
+  (rule ``RPR000``), so suppressions cannot rot silently;
+* engine-level findings (``RPR000``): unparseable files, malformed or
+  unused suppressions.
+
+Findings are plain frozen dataclasses; the baseline layer
+(:mod:`repro.analysis.baseline`) and the reporters
+(:mod:`repro.analysis.reporters`) consume them without ever touching
+the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path, PurePosixPath
+from typing import Callable, ClassVar, Iterable, Sequence
+
+__all__ = [
+    "ENGINE_RULE_ID",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Suppression",
+    "analyze_file",
+    "analyze_paths",
+    "call_name",
+    "collect_files",
+    "iter_findings",
+]
+
+#: Rule id of the engine's own findings (parse errors, bad suppressions).
+ENGINE_RULE_ID = "RPR000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped source line — the content-addressed
+    part of the baseline key, so a finding survives unrelated edits
+    that merely shift line numbers.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Does this finding fail the run?"""
+        return not (self.suppressed or self.baselined)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` comment."""
+
+    line: int            # line the comment sits on (1-based)
+    target_line: int     # line whose findings it suppresses
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file (parsed once)."""
+
+    path: str                    # as reported in findings (posix, relative)
+    source: str
+    tree: ast.Module
+    lines: list[str]
+
+    @property
+    def posix(self) -> PurePosixPath:
+        return PurePosixPath(self.path)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return self.posix.parts
+
+    def in_dir(self, *names: str) -> bool:
+        """Is the file under a directory with one of these names?"""
+        return any(name in self.parts[:-1] for name in names)
+
+    def ends_with(self, *suffixes: str) -> bool:
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class of the plugin API.
+
+    Subclasses set ``id``/``title``/``invariant`` and implement
+    :meth:`check`, yielding ``(line, col, message)`` triples.  The
+    engine turns those into :class:`Finding`\\ s, attaches snippets and
+    applies suppressions.  ``invariant`` documents *which PR's folklore*
+    the rule mechanises — it is what ``repro lint --list-rules`` prints.
+    """
+
+    id: ClassVar[str] = "RPR999"
+    title: ClassVar[str] = ""
+    invariant: ClassVar[str] = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Scope hook: return ``False`` to skip this file entirely."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[int, int, str]]:
+        raise NotImplementedError
+
+
+def call_name(func: ast.expr) -> str:
+    """Dotted name of a call target (``np.linalg.solve``), '' if dynamic."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _parse_suppressions(source: str, path: str) -> tuple[list[Suppression], list[Finding]]:
+    """Extract suppression comments; malformed ones become findings."""
+    suppressions: list[Suppression] = []
+    problems: list[Finding] = []
+    lines = source.splitlines()
+    try:
+        readline = iter(line + "\n" for line in lines).__next__
+        tokens = list(tokenize.generate_tokens(readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [], []  # the parse-error finding covers this file already
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _SUPPRESS_RE.search(tok.string)
+        if m is None:
+            continue
+        lineno = tok.start[0]
+        rules = tuple(
+            r.strip().upper() for r in m.group(1).split(",") if r.strip()
+        )
+        reason = m.group(2).strip().lstrip(":-—– ").strip()
+        own_line = lines[lineno - 1].strip().startswith("#")
+        target = lineno
+        if own_line:
+            # A standalone comment governs the next code line.
+            for later in range(lineno + 1, len(lines) + 1):
+                text = lines[later - 1].strip()
+                if text and not text.startswith("#"):
+                    target = later
+                    break
+        if not rules:
+            problems.append(Finding(
+                ENGINE_RULE_ID, path, lineno, 1,
+                "suppression names no rules: use"
+                " `# repro: ignore[RPRnnn]: reason`",
+                snippet=lines[lineno - 1].strip(),
+            ))
+            continue
+        if not reason:
+            problems.append(Finding(
+                ENGINE_RULE_ID, path, lineno, 1,
+                f"suppression of {', '.join(rules)} must carry a reason:"
+                " `# repro: ignore[RPRnnn]: why this is safe`",
+                snippet=lines[lineno - 1].strip(),
+            ))
+            continue
+        suppressions.append(Suppression(lineno, target, rules, reason))
+    return suppressions, problems
+
+
+def analyze_file(
+    path: str | os.PathLike[str],
+    rules: Sequence[Rule],
+    display_path: str | None = None,
+    check_unused_suppressions: bool = True,
+) -> list[Finding]:
+    """Run every applicable rule over one file.
+
+    ``display_path`` overrides the path recorded in findings (the
+    normalised repo-relative path); ``check_unused_suppressions`` is
+    turned off when a ``--rule`` filter is active, since a suppression
+    for an unselected rule is not "unused".
+    """
+    fs_path = Path(path)
+    shown = display_path if display_path is not None else fs_path.as_posix()
+    try:
+        source = fs_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(ENGINE_RULE_ID, shown, 1, 1, f"unreadable file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=str(fs_path))
+    except SyntaxError as exc:
+        return [Finding(
+            ENGINE_RULE_ID, shown, exc.lineno or 1, exc.offset or 1,
+            f"syntax error: {exc.msg}",
+        )]
+    ctx = FileContext(
+        path=shown, source=source, tree=tree, lines=source.splitlines()
+    )
+    suppressions, findings = _parse_suppressions(source, shown)
+    by_line: dict[int, list[Suppression]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.target_line, []).append(sup)
+
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for line, col, message in rule.check(ctx):
+            suppressed = False
+            for sup in by_line.get(line, ()):
+                if rule.id in sup.rules:
+                    sup.used = True
+                    suppressed = True
+            findings.append(Finding(
+                rule.id, shown, line, col, message,
+                snippet=ctx.snippet(line), suppressed=suppressed,
+            ))
+    if check_unused_suppressions:
+        for sup in suppressions:
+            if not sup.used:
+                findings.append(Finding(
+                    ENGINE_RULE_ID, shown, sup.line, 1,
+                    f"unused suppression of {', '.join(sup.rules)}"
+                    " (no matching finding on its line): remove it",
+                    snippet=ctx.snippet(sup.line),
+                ))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def collect_files(paths: Sequence[str | os.PathLike[str]]) -> list[Path]:
+    """Expand files/directories into the sorted ``*.py`` worklist."""
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(
+                f for f in sorted(p.rglob("*.py"))
+                if "__pycache__" not in f.parts
+                and not any(part.endswith(".egg-info") for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            out.append(p)
+    # De-duplicate while preserving order (a file named twice on the
+    # command line must not double its findings).
+    seen: set[Path] = set()
+    unique = []
+    for f in out:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def _display_path(f: Path) -> str:
+    """Repo-relative posix path when possible (stable baseline keys)."""
+    try:
+        rel = os.path.relpath(f)
+    except ValueError:  # pragma: no cover - different drive (windows)
+        rel = str(f)
+    if rel.startswith(".."):
+        return f.as_posix()
+    return Path(rel).as_posix()
+
+
+def analyze_paths(
+    paths: Sequence[str | os.PathLike[str]],
+    rules: Sequence[Rule],
+    jobs: int | None = None,
+    check_unused_suppressions: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> list[Finding]:
+    """Analyze every ``*.py`` under ``paths`` (files run in parallel)."""
+    files = collect_files(paths)
+    if not files:
+        return []
+    workers = jobs if jobs and jobs > 0 else min(32, (os.cpu_count() or 2))
+
+    def work(f: Path) -> list[Finding]:
+        if progress is not None:
+            progress(str(f))
+        return analyze_file(
+            f, rules, display_path=_display_path(f),
+            check_unused_suppressions=check_unused_suppressions,
+        )
+
+    if workers == 1 or len(files) == 1:
+        batches = [work(f) for f in files]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            batches = list(pool.map(work, files))
+    findings = [f for batch in batches for f in batch]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_findings(
+    findings: Iterable[Finding],
+    mark_baselined: Callable[[Finding], bool] | None = None,
+) -> list[Finding]:
+    """Apply a baseline predicate, returning re-marked findings."""
+    if mark_baselined is None:
+        return list(findings)
+    return [
+        replace(f, baselined=True) if (f.active and mark_baselined(f)) else f
+        for f in findings
+    ]

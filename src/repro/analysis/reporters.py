@@ -1,0 +1,122 @@
+"""Finding reporters: human text, machine JSON, GitHub annotations.
+
+Each reporter is a function ``(findings, stale_entries, stream) ->
+None``; the CLI selects one by ``--format``.  All three agree on what
+*fails* a run — :attr:`Finding.active` — so CI and local output can
+never disagree about the exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO, Sequence
+
+from .baseline import BaselineEntry
+from .engine import Finding
+
+__all__ = ["REPORTERS", "report_text", "report_json", "report_github"]
+
+
+def _summary_line(findings: Sequence[Finding], stale: Sequence[BaselineEntry]) -> str:
+    active = [f for f in findings if f.active]
+    suppressed = sum(1 for f in findings if f.suppressed)
+    baselined = sum(1 for f in findings if f.baselined)
+    by_rule = Counter(f.rule for f in active)
+    parts = [f"{len(active)} finding{'s' if len(active) != 1 else ''}"]
+    if by_rule:
+        parts.append(
+            "(" + ", ".join(f"{r}: {n}" for r, n in sorted(by_rule.items())) + ")"
+        )
+    if baselined:
+        parts.append(f"{baselined} baselined")
+    if suppressed:
+        parts.append(f"{suppressed} suppressed")
+    if stale:
+        parts.append(f"{len(stale)} stale baseline entr{'ies' if len(stale) != 1 else 'y'}")
+    return ", ".join(parts)
+
+
+def report_text(
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    stream: IO[str],
+) -> None:
+    for f in findings:
+        if f.suppressed:
+            continue
+        tag = " [baselined]" if f.baselined else ""
+        stream.write(f"{f.location()}: {f.rule} {f.message}{tag}\n")
+        if f.snippet:
+            stream.write(f"    {f.snippet}\n")
+    for e in stale:
+        stream.write(
+            f"stale baseline entry: {e.rule} {e.path} ({e.hash})"
+            " — the finding is gone; remove the entry\n"
+        )
+    stream.write(_summary_line(findings, stale) + "\n")
+
+
+def report_json(
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    stream: IO[str],
+) -> None:
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "snippet": f.snippet,
+                "suppressed": f.suppressed,
+                "baselined": f.baselined,
+                "active": f.active,
+            }
+            for f in findings
+        ],
+        "stale_baseline_entries": [
+            {"rule": e.rule, "path": e.path, "hash": e.hash, "note": e.note}
+            for e in stale
+        ],
+        "active_count": sum(1 for f in findings if f.active),
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def _escape_annotation(text: str) -> str:
+    # GitHub workflow-command escaping for message payloads.
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def report_github(
+    findings: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    stream: IO[str],
+) -> None:
+    """Emit ``::error``/``::notice`` workflow commands for annotations."""
+    for f in findings:
+        if f.suppressed:
+            continue
+        level = "notice" if f.baselined else "error"
+        stream.write(
+            f"::{level} file={f.path},line={f.line},col={f.col},"
+            f"title={f.rule}::{_escape_annotation(f.message)}\n"
+        )
+    for e in stale:
+        stream.write(
+            f"::notice title=stale-baseline::{_escape_annotation(f'{e.rule} {e.path} ({e.hash}) no longer fires; remove the baseline entry')}\n"
+        )
+    stream.write(_summary_line(findings, stale) + "\n")
+
+
+REPORTERS = {
+    "text": report_text,
+    "json": report_json,
+    "github": report_github,
+}

@@ -1,0 +1,66 @@
+"""Shared AST helpers for the rule catalogue."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import call_name
+
+__all__ = [
+    "call_name",
+    "enclosing_map",
+    "iter_with_qualname",
+    "terminal_name",
+    "walk_scope",
+]
+
+
+def terminal_name(node: ast.expr) -> str:
+    """Final identifier of a Name/Attribute chain (``self._lock`` → ``_lock``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def iter_with_qualname(tree: ast.Module) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, qualname)`` pairs, qualname being the dotted
+    class/function path enclosing the node ('' at module level)."""
+
+    def visit(node: ast.AST, stack: tuple[str, ...]) -> Iterator[tuple[ast.AST, str]]:
+        yield node, ".".join(stack)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack = stack + (node.name,)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, stack)
+
+    for top in ast.iter_child_nodes(tree):
+        yield from visit(top, ())
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a statement body without descending into nested functions —
+    code in a nested ``def`` runs later, outside the lexical region."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield from walk_scope(child)
+
+
+def enclosing_map(tree: ast.Module) -> dict[ast.AST, ast.AST | None]:
+    """Map each node to its nearest enclosing function (or None)."""
+    out: dict[ast.AST, ast.AST | None] = {}
+
+    def visit(node: ast.AST, func: ast.AST | None) -> None:
+        out[node] = func
+        inner = node if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) else func
+        for child in ast.iter_child_nodes(node):
+            visit(child, inner)
+
+    visit(tree, None)
+    return out

@@ -1,0 +1,63 @@
+"""RPR002 — durations use monotonic clocks, never ``time.time()``.
+
+PR 6's fix: wall clocks jump (NTP slews, suspend/resume), so any
+duration or uptime computed from ``time.time()`` differences can go
+negative or explode.  ``time.perf_counter()`` / ``time.monotonic()``
+are the only clocks valid for intervals.  ``time.time()`` survives in
+exactly two allowlisted places where an *epoch timestamp* is the
+point: span start/end times in ``telemetry/spans.py`` (the only clock
+meaningful across process boundaries) and the service start-time
+report in ``ServiceMetrics.__init__`` (uptime itself is monotonic).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Rule, call_name
+from ._shared import iter_with_qualname
+
+__all__ = ["MonotonicClocks"]
+
+#: ``(path suffix, qualname or None)`` — None allowlists the whole file.
+_ALLOWLIST: tuple[tuple[str, str | None], ...] = (
+    ("telemetry/spans.py", None),
+    ("service/metrics.py", "ServiceMetrics.__init__"),
+)
+
+
+class MonotonicClocks(Rule):
+    id = "RPR002"
+    title = "no time.time() outside allowlisted epoch-timestamp sites"
+    invariant = (
+        "durations/uptime must use time.monotonic()/time.perf_counter();"
+        " time.time() is allowlisted only for epoch timestamps in"
+        " telemetry/spans.py and ServiceMetrics.__init__ (PR 6)"
+    )
+
+    def _allowed(self, ctx: FileContext, qualname: str) -> bool:
+        for suffix, allowed_qualname in _ALLOWLIST:
+            if ctx.path.endswith(suffix):
+                if allowed_qualname is None or qualname == allowed_qualname:
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[int, int, str]]:
+        bare_time = "from time import time" in ctx.source
+        for node, qualname in iter_with_qualname(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node.func)
+            if name != "time.time" and not (bare_time and name == "time"):
+                continue
+            if self._allowed(ctx, qualname):
+                continue
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                "time.time() is a wall clock: use time.monotonic() or"
+                " time.perf_counter() for durations, or add the site to"
+                " the RPR002 allowlist if this is a genuine epoch"
+                " timestamp",
+            )

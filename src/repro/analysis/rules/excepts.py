@@ -1,0 +1,103 @@
+"""RPR008 — no silent ``except Exception`` in service/ or transport/.
+
+The failure paths of the serving and transport layers are load-bearing:
+a swallowed exception there turns a diagnosable fault (a crashed rank,
+a poisoned pipe, a numerically sick stage) into a silent wrong answer
+or a hung caller.  A broad handler (bare ``except``, ``Exception``,
+``BaseException``, or a tuple containing one) is allowed only if it
+visibly does one of three things:
+
+* **re-raises** (``raise`` / ``raise Typed(...) from exc``),
+* **converts** — constructs a typed ``*Error``/``*Exception`` value
+  (wrapping into the repro error hierarchy, even when the value is
+  returned rather than raised, as the process transport does when
+  shipping child failures), or
+* **records** — calls a telemetry-ish method (``inc``, ``observe``,
+  ``record``, ``set_attribute``, ``exception``, ``warning``, …) so the
+  swallow is at least counted.
+
+Handlers narrowed to concrete exception types are out of scope: naming
+the type is already a statement about what can happen.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..engine import FileContext, Rule
+from ._shared import terminal_name
+
+__all__ = ["NoSilentExcept"]
+
+_BROAD = {"Exception", "BaseException"}
+_TELEMETRY_ATTRS = {
+    "inc",
+    "observe",
+    "record",
+    "set_attribute",
+    "add",
+    "add_many",
+    "exception",
+    "warning",
+    "error",
+    "critical",
+    "log",
+}
+_TYPED_ERROR_RE = re.compile(r"(Error|Exception)$")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if t is None:
+        return True
+    exprs = t.elts if isinstance(t, ast.Tuple) else [t]
+    return any(terminal_name(e) in _BROAD for e in exprs)
+
+
+def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            ctor = terminal_name(func)
+            if _TYPED_ERROR_RE.search(ctor):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _TELEMETRY_ATTRS:
+                return True
+    return False
+
+
+class NoSilentExcept(Rule):
+    id = "RPR008"
+    title = "broad except in service/transport must re-raise, convert, or record"
+    invariant = (
+        "except Exception in service/ and transport/ must re-raise,"
+        " wrap into a typed repro error, or record to telemetry —"
+        " silent swallows hide rank crashes and poisoned pipes"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_dir("service", "transport")
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _handles_visibly(node):
+                continue
+            shown = (
+                "bare except" if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                f"{shown} swallows silently: re-raise, convert to a"
+                " typed repro error, or record to telemetry (or narrow"
+                " the except to the concrete types this code expects)",
+            )

@@ -1,0 +1,112 @@
+"""RPR003 — no blocking call while lexically holding a lock.
+
+The transport and scheduler layers are thread-heavy; a blocking call
+(``recv``, ``accept``, ``join``, ``sleep``, queue ``get``, future
+``result``) executed inside a held ``threading.Lock``/``RLock``
+``with``-block stalls every other thread contending for that lock —
+the classic distributed-deadlock shape PSelInv warns about for
+communication code.  The rule is lexical: it flags blocking calls
+written inside the ``with lock:`` body (nested ``def``\\ s are skipped
+— they run later, outside the region).
+
+``Condition.wait`` is deliberately *not* matched: a condition variable
+releases its lock while waiting, and lock detection keys on receiver
+names containing "lock", which condition variables (``cv``, ``cond``)
+do not use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Rule, call_name
+from ._shared import terminal_name, walk_scope
+
+__all__ = ["NoBlockingUnderLock"]
+
+_BLOCKING = {"recv", "Recv", "accept", "join", "sleep", "get", "result"}
+_QUEUEISH = ("queue", "mailbox", "inbox", "outbox", "q")
+_LOCK_CTORS = {"Lock", "RLock"}
+
+
+def _is_lock_expr(expr: ast.expr) -> bool:
+    """Does this with-item expression acquire a lock?
+
+    Either a direct ``threading.Lock()``/``RLock()`` construction or a
+    name/attribute whose terminal identifier contains "lock".
+    """
+    if isinstance(expr, ast.Call):
+        return terminal_name(expr.func) in _LOCK_CTORS or call_name(
+            expr.func
+        ) in ("threading.Lock", "threading.RLock")
+    return "lock" in terminal_name(expr).lower()
+
+
+def _receiver(func: ast.expr) -> ast.expr | None:
+    return func.value if isinstance(func, ast.Attribute) else None
+
+
+def _flaggable(node: ast.Call) -> str | None:
+    """Return the blocking-call name if this call should be flagged."""
+    func = node.func
+    name = terminal_name(func) if isinstance(func, (ast.Attribute, ast.Name)) else ""
+    if name not in _BLOCKING:
+        return None
+    recv = _receiver(func)
+    if name == "join":
+        # " ".join(parts) and os.path.join are string/path joins.
+        if isinstance(recv, ast.Constant) and isinstance(recv.value, str):
+            return None
+        if recv is not None and terminal_name(recv) in ("path", "posixpath", "ntpath"):
+            return None
+    if name == "get":
+        # dict.get is everywhere; only a queue-ish receiver or an
+        # explicit timeout kwarg marks a *blocking* get.
+        has_timeout = any(kw.arg == "timeout" for kw in node.keywords)
+        queueish = recv is not None and any(
+            part in terminal_name(recv).lower() for part in _QUEUEISH
+        )
+        if not (has_timeout or queueish):
+            return None
+    return name
+
+
+class NoBlockingUnderLock(Rule):
+    id = "RPR003"
+    title = "no blocking call inside a held Lock/RLock with-block"
+    invariant = (
+        "recv/accept/join/sleep/get/result must not run while lexically"
+        " holding a threading.Lock/RLock: every contending thread stalls"
+        " (transport/scheduler deadlock detector)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            lock_items = [
+                item for item in node.items
+                if _is_lock_expr(item.context_expr)
+            ]
+            if not lock_items:
+                continue
+            for stmt in node.body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue  # deferred code runs outside the region
+                for sub in [stmt, *walk_scope(stmt)]:
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    name = _flaggable(sub)
+                    if name is None:
+                        continue
+                    yield (
+                        sub.lineno,
+                        sub.col_offset + 1,
+                        f"blocking call `{name}` inside a held lock"
+                        f" (acquired line {node.lineno}): release the"
+                        " lock first or move the wait outside the"
+                        " with-block",
+                    )

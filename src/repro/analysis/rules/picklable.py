@@ -1,0 +1,83 @@
+"""RPR001 — exceptions crossing process transports must pickle.
+
+PR 7's ``RankError`` regression: the default exception ``__reduce__``
+replays ``str(exc)`` into ``__init__``, which explodes for any
+exception whose ``__init__`` takes more than one argument.  Such an
+exception raised inside a process-backed transport dies *in the
+pickler*, and the caller sees an opaque transport failure instead of
+the typed error.  Any exception class defined in ``transport/``,
+``parallel/``, or ``service/workers.py`` whose ``__init__`` takes
+extra arguments must therefore define ``__reduce__`` (the
+``FleetMatrixError`` / ``RankError`` pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Rule
+
+__all__ = ["PicklableExceptions"]
+
+_EXC_SUFFIXES = ("Error", "Exception", "Warning")
+
+
+def _looks_like_exception(node: ast.ClassDef) -> bool:
+    if node.name.endswith(_EXC_SUFFIXES):
+        return True
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name.endswith(_EXC_SUFFIXES) or name in ("BaseException",):
+            return True
+    return False
+
+
+def _extra_init_args(init: ast.FunctionDef) -> int:
+    """Number of parameters beyond ``self`` (incl. keyword-only)."""
+    a = init.args
+    n = len(a.posonlyargs) + len(a.args) + len(a.kwonlyargs)
+    return max(0, n - 1) + (1 if a.vararg else 0)
+
+
+class PicklableExceptions(Rule):
+    id = "RPR001"
+    title = "transported exceptions must survive pickling"
+    invariant = (
+        "exception classes defined in transport/, parallel/, or"
+        " service/workers.py with a multi-argument __init__ must define"
+        " __reduce__ (PR 7: RankError/FleetMatrixError regression)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_dir("transport", "parallel") or ctx.ends_with(
+            "service/workers.py"
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _looks_like_exception(node):
+                continue
+            init = None
+            has_reduce = False
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if item.name == "__init__":
+                        init = item
+                    elif item.name in ("__reduce__", "__reduce_ex__"):
+                        has_reduce = True
+            if init is None or has_reduce:
+                continue
+            if isinstance(init, ast.FunctionDef) and _extra_init_args(init) > 1:
+                yield (
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"exception {node.name} takes"
+                    f" {_extra_init_args(init)} __init__ arguments but"
+                    " defines no __reduce__: it will not survive the"
+                    " pickle round-trip across process transports",
+                )

@@ -1,0 +1,85 @@
+"""RPR007 — every created SharedMemory segment has a teardown path.
+
+A ``SharedMemory(create=True)`` segment is a kernel object: leak it
+and it outlives the process (and trips the resource tracker's noisy
+warnings at interpreter exit).  The mp-shm transport's
+``send_buffer_frame`` is the exemplar — create, then ``close()`` in a
+``finally`` (the consumer ``unlink``\\ s after decoding).  The rule
+requires that any function creating a segment also contains a
+``finally`` block (or ``with`` suite) calling ``close``/``unlink``.
+
+Lexical containment, not data flow: the teardown must live in the
+*same function* so the reader can see the pairing.  Factories that
+intentionally hand ownership to a caller should suppress with a
+reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Rule
+from ._shared import enclosing_map, terminal_name
+
+__all__ = ["SharedMemoryLifecycle"]
+
+
+def _creates_segment(node: ast.Call) -> bool:
+    if terminal_name(node.func) != "SharedMemory":
+        return False
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _has_teardown(scope: ast.AST) -> bool:
+    """Any finally-block or with-statement in ``scope`` calling
+    close()/unlink(), or a SharedMemory used directly as a context
+    manager."""
+    for node in ast.walk(scope):
+        bodies: list[list[ast.stmt]] = []
+        if isinstance(node, ast.Try) and node.finalbody:
+            bodies.append(node.finalbody)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(
+                isinstance(item.context_expr, ast.Call)
+                and _creates_segment(item.context_expr)
+                for item in node.items
+            ):
+                return True
+        for body in bodies:
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) and terminal_name(
+                        sub.func
+                    ) in ("close", "unlink"):
+                        return True
+    return False
+
+
+class SharedMemoryLifecycle(Rule):
+    id = "RPR007"
+    title = "SharedMemory(create=True) needs close/unlink on a finally path"
+    invariant = (
+        "every SharedMemory(create=True) is paired, in the same"
+        " function, with close()/unlink() on a finally/context-manager"
+        " path — leaked segments outlive the process"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[int, int, str]]:
+        enclosing = enclosing_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _creates_segment(node)):
+                continue
+            scope = enclosing.get(node) or ctx.tree
+            if _has_teardown(scope):
+                continue
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                "SharedMemory(create=True) with no close()/unlink() on"
+                " a finally/context-manager path in this function: the"
+                " segment leaks past process exit",
+            )

@@ -1,0 +1,54 @@
+"""RPR004 — dense inversions route through the guarded solvers.
+
+Bauer's stabilized-DQMC point: numerical discipline has to be applied
+*everywhere*, not just in the core kernels.  ``repro.resilience.guards``
+wraps dense solves with finiteness screens and condition estimates and
+converts LinAlgError into the typed ``NumericalHealthError`` the
+service layer knows how to degrade on.  A raw ``np.linalg.inv``/
+``np.linalg.solve`` anywhere outside ``core/`` (the stage kernels
+themselves) and ``resilience/`` (the guard implementations) bypasses
+that battery, so ill-conditioned inputs surface as unexplained NaNs
+instead of typed, telemetry-counted failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Rule, call_name
+
+__all__ = ["GuardedSolversOnly"]
+
+_RAW = ("linalg.inv", "linalg.solve")
+
+
+class GuardedSolversOnly(Rule):
+    id = "RPR004"
+    title = "no raw np.linalg.inv/solve outside core/"
+    invariant = (
+        "code outside core/ and resilience/ must call"
+        " resilience.guards.guarded_inv/guarded_solve so dense solves"
+        " pass the finiteness + condition battery and fail as typed"
+        " NumericalHealthError"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.in_dir("core", "resilience")
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node.func)
+            if not name.endswith(_RAW):
+                continue
+            short = name.split(".")[-1]
+            yield (
+                node.lineno,
+                node.col_offset + 1,
+                f"raw linalg.{short}() outside core/: use"
+                f" repro.resilience.guards.guarded_{short}() so the"
+                " solve is screened and fails as a typed"
+                " NumericalHealthError",
+            )

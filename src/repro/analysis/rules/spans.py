@@ -1,0 +1,70 @@
+"""RPR006 — spawned threads/processes must propagate trace context.
+
+PR 2's telemetry runtime gives every unit of work a span; a worker
+thread or child process that runs traced code without carrying the
+parent context produces orphan spans that cannot be stitched into a
+trace.  The propagation vocabulary is ``inject()`` (serialise the
+context into a carrier before the spawn) paired with
+``activate_remote()``/``use_context()``/``trace_ctx`` on the far side.
+
+The check is module-granular by design: if a module in ``transport/``,
+``parallel/``, or ``service/`` creates a ``Thread`` or ``Process`` but
+*never mentions* any propagation primitive, no spawn in it can be
+propagating — a finding on each spawn site.  A module that does use
+the vocabulary is trusted (flow-sensitive matching of carrier to spawn
+would be guesswork at AST level).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..engine import FileContext, Rule, call_name
+from ._shared import terminal_name
+
+__all__ = ["SpanPropagation"]
+
+_SPAWN_NAMES = {"Thread", "Process"}
+_PROPAGATION_RE = re.compile(
+    r"\b(inject|activate_remote|use_context|trace_ctx|carrier)\b"
+)
+
+
+def _is_spawn(node: ast.Call) -> bool:
+    name = terminal_name(node.func)
+    if name not in _SPAWN_NAMES:
+        return False
+    dotted = call_name(node.func)
+    # `threading.Thread(...)`, `ctx.Process(...)`, bare `Thread(...)` —
+    # but not e.g. `SomeClass.Process` used as a namespaced constant.
+    return dotted.count(".") <= 1
+
+
+class SpanPropagation(Rule):
+    id = "RPR006"
+    title = "thread/process spawns propagate telemetry spans"
+    invariant = (
+        "modules in transport/, parallel/, service/ that spawn"
+        " Thread/Process must carry trace context via inject() +"
+        " activate_remote()/use_context()/trace_ctx (PR 2)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_dir("transport", "parallel", "service")
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[int, int, str]]:
+        if _PROPAGATION_RE.search(ctx.source):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _is_spawn(node):
+                yield (
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"{terminal_name(node.func)} spawn in a module with"
+                    " no span propagation: inject() a carrier before"
+                    " the spawn and activate_remote()/use_context() in"
+                    " the target, or spans from this worker will be"
+                    " orphaned",
+                )

@@ -85,7 +85,7 @@ def line_chart(
     y_span = (y_hi - y_lo) or 1.0
     x_span = (x_hi - x_lo) or 1.0
     grid = [[" "] * width for _ in range(height)]
-    for (name, ys), marker in zip(series.items(), _MARKERS):
+    for (_name, ys), marker in zip(series.items(), _MARKERS):
         for xv, yv in zip(xs, ys):
             col = int((float(xv) - x_lo) / x_span * (width - 1))
             row = height - 1 - int((float(yv) - y_lo) / y_span * (height - 1))

@@ -78,7 +78,7 @@ def _timed(label: str, fn, repeats: int = 1, warmup: int = 0) -> TimedRun:
     timings: list[float] = []
     result = None
     tr = FlopTracer()
-    for rep in range(repeats):
+    for _rep in range(repeats):
         # Only the last repeat is traced: tracing accumulates, and we
         # want the flop count of exactly one execution.
         tr = FlopTracer()

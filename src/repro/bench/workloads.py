@@ -253,7 +253,9 @@ def run_job_stream(
         try:
             ticket.result(timeout=result_timeout)
             completed += 1
-        except Exception:
+        except (ServiceError, TimeoutError):
+            # Shed/rejected/timed-out jobs are the load being measured;
+            # any other exception is a harness bug and must propagate.
             failed += 1
     elapsed = time.perf_counter() - t_start
 

@@ -618,6 +618,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     e = sub.add_parser("experiments", help="regenerate paper tables/figures")
     e.set_defaults(func=_cmd_experiments)
+
+    # Imported lazily-by-module (not inside main) so `repro lint --help`
+    # is discoverable; the analysis package itself imports nothing heavy.
+    from .analysis.cli import add_lint_parser, run_lint
+
+    lint = add_lint_parser(sub)
+    lint.set_defaults(func=run_lint)
     return p
 
 

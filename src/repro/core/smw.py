@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..perf.tracer import record_flops
 from . import _kernels as kr
@@ -65,7 +66,8 @@ class FactorPairs:
     batch into the dense matrix with a single BLAS-3 gemm.
     """
 
-    def __init__(self, n: int, capacity: int, dtype=np.float64):
+    def __init__(self, n: int, capacity: int,
+                 dtype: npt.DTypeLike = np.float64) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.n = n
@@ -242,7 +244,7 @@ class PCyclicWoodbury:
     these per cached base fingerprint.
     """
 
-    def __init__(self, pc: BlockPCyclic):
+    def __init__(self, pc: BlockPCyclic) -> None:
         self.pc = pc
         self.L = pc.L
         self.N = pc.N

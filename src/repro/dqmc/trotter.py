@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..resilience.guards import guarded_inv, guarded_solve
+
 __all__ = ["ExtrapolationResult", "extrapolate", "richardson"]
 
 
@@ -84,8 +86,12 @@ def extrapolate(
     WX = X * w[:, None]
     A = X.T @ WX
     b = WX.T @ values
-    coef = np.linalg.solve(A, b)
-    cov = np.linalg.inv(A)
+    # The normal equations go singular when dtau points repeat (or
+    # nearly so): the guarded solvers trip a typed NumericalHealthError
+    # with the condition estimate instead of a raw LinAlgError or a
+    # silently garbage covariance.
+    coef = guarded_solve(A, b, site="trotter.extrapolate")
+    cov = guarded_inv(A, site="trotter.extrapolate")
     resid = values - X @ coef
     # Scale covariance by reduced chi^2 when fitting unweighted data
     # with dof left; with supplied errors report the propagated error.

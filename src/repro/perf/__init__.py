@@ -35,7 +35,9 @@ def __getattr__(name: str):
     try:
         module_name, attr = _LAZY[name]
     except KeyError:
-        raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")
+        raise AttributeError(
+            f"module 'repro.perf' has no attribute {name!r}"
+        ) from None
     import importlib
 
     module = importlib.import_module(f".{module_name}", __name__)

@@ -27,6 +27,8 @@ from .guards import (
     GuardReport,
     NumericalHealthError,
     estimate_condition,
+    guarded_inv,
+    guarded_solve,
     screen_finite,
 )
 from .health import BreakerState, CircuitBreaker, ServiceState
@@ -42,5 +44,7 @@ __all__ = [
     "NumericalHealthError",
     "ServiceState",
     "estimate_condition",
+    "guarded_inv",
+    "guarded_solve",
     "screen_finite",
 ]

@@ -28,6 +28,7 @@ retry and the service layer turns into a typed job failure.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +45,8 @@ __all__ = [
     "estimate_condition",
     "check_cluster_conditions",
     "check_seed_residual",
+    "guarded_solve",
+    "guarded_inv",
     "sample_indices",
 ]
 
@@ -65,7 +68,7 @@ class NumericalHealthError(ArithmeticError):
     """
 
     def __init__(self, message: str, *, check: str, site: str,
-                 value: float = float("nan"), limit: float = float("nan")):
+                 value: float = math.nan, limit: float = math.nan):
         super().__init__(message)
         self.check = check
         self.site = site
@@ -224,6 +227,68 @@ def estimate_condition(A: np.ndarray) -> float:
     except (ValueError, FloatingPointError):  # pragma: no cover - scipy guts
         return float("inf")
     return norm_a * norm_inv
+
+
+def _check_dense_inputs(A: np.ndarray, site: str,
+                        condition_limit: float,
+                        *extra: np.ndarray) -> None:
+    screen_finite(site, A, *extra)
+    cond = estimate_condition(A)
+    _observe(
+        "repro_guard_dense_condition",
+        "1-norm condition estimates of guarded dense solves",
+        cond,
+    )
+    tripped = not np.isfinite(cond) or cond > condition_limit
+    _count("dense", tripped)
+    if tripped:
+        raise NumericalHealthError(
+            f"dense system at {site} has condition estimate {cond:.3e}"
+            f" (limit {condition_limit:.3e})",
+            check="condition", site=site, value=cond, limit=condition_limit,
+        )
+
+
+def guarded_solve(A: np.ndarray, b: np.ndarray, *, site: str = "solve",
+                  condition_limit: float = 1e12) -> np.ndarray:
+    """``np.linalg.solve`` behind the guard battery.
+
+    The linter (rule RPR004) requires every dense solve outside the
+    ``core/`` stage kernels to come through here: inputs are screened
+    for NaN/Inf, the system's condition is estimated against
+    ``condition_limit``, and singular systems surface as the typed
+    :class:`NumericalHealthError` (``check="condition"``) rather than a
+    raw ``LinAlgError`` — so callers degrade the way the service layer
+    expects.
+    """
+    A = np.asarray(A)
+    b = np.asarray(b)
+    _check_dense_inputs(A, site, condition_limit, b)
+    try:
+        x = np.linalg.solve(A, b)
+    except np.linalg.LinAlgError as exc:
+        raise NumericalHealthError(
+            f"dense solve at {site} failed: {exc}",
+            check="condition", site=site,
+        ) from exc
+    screen_finite(site, x)
+    return x
+
+
+def guarded_inv(A: np.ndarray, *, site: str = "inv",
+                condition_limit: float = 1e12) -> np.ndarray:
+    """``np.linalg.inv`` behind the guard battery (see :func:`guarded_solve`)."""
+    A = np.asarray(A)
+    _check_dense_inputs(A, site, condition_limit)
+    try:
+        inv = np.linalg.inv(A)
+    except np.linalg.LinAlgError as exc:
+        raise NumericalHealthError(
+            f"dense inversion at {site} failed: {exc}",
+            check="condition", site=site,
+        ) from exc
+    screen_finite(site, inv)
+    return inv
 
 
 def sample_indices(n: int, samples: int) -> list[int]:

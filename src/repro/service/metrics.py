@@ -43,10 +43,13 @@ class ServiceMetrics:
     """
 
     def __init__(self, registry: MetricRegistry | None = None) -> None:
-        # Wall-clock birth time is kept for display/logs only; uptime is
-        # measured on the monotonic clock so NTP steps can never make it
-        # jump or go negative in Prometheus//healthz output.
-        self.started_at = time.time()
+        # Two clocks, two jobs: the epoch birth time is for *reporting*
+        # (operators correlating a service start with external logs) and
+        # is the one allowlisted time.time() call outside telemetry
+        # (lint rule RPR002); uptime is *measured* on the monotonic
+        # clock so NTP steps can never make it jump or go negative in
+        # Prometheus//healthz output.
+        self.started_at_epoch = time.time()
         self._started_mono = time.monotonic()
         self.registry = registry if registry is not None else MetricRegistry()
         r = self.registry
@@ -155,6 +158,7 @@ class ServiceMetrics:
             for values, child in self.delta_fallbacks.samples()
         }
         return {
+            "started_at_epoch": self.started_at_epoch,
             "uptime_seconds": time.monotonic() - self._started_mono,
             "submitted": self.submitted.value,
             "completed": self.completed.value,

@@ -555,7 +555,11 @@ class GreensService:
             with FlopTracer() as tracer, tracer.stage("delta"):
                 blocks, report = state.update_blocks(base.blocks, flips)
             elapsed = time.perf_counter() - t0
-        except Exception:
+        except Exception as exc:
+            # A failed delta update is recoverable (the full solve runs
+            # instead) but never silent: the span carries the exception
+            # and the fallback counter records the occurrence.
+            span.set_attribute("delta_error", repr(exc))
             return fallback("error")
         span.set_attribute("residual", report.solve_residual)
         span.set_attribute("capacitance_cond", report.capacitance_cond)

@@ -93,7 +93,7 @@ class RankError(RuntimeError):
         rank: int,
         original: BaseException,
         stats: "CommStats | None" = None,
-    ):
+    ) -> None:
         msg = f"rank {rank} failed: {original!r}"
         if stats is not None:
             msg += (
@@ -105,7 +105,7 @@ class RankError(RuntimeError):
         self.original = original
         self.stats = stats
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         # Default exception pickling replays ``args`` (the formatted
         # message) into ``__init__`` and blows up on the signature; a
         # RankError must survive a result pipe when fleets nest inside
@@ -283,7 +283,7 @@ class Request:
     operation has not completed in time.
     """
 
-    def __init__(self, poll: Callable[[float | None], tuple[bool, Any]]):
+    def __init__(self, poll: Callable[[float | None], tuple[bool, Any]]) -> None:
         self._poll = poll
         self._done = False
         self._value: Any = None
@@ -328,7 +328,7 @@ class BaseCommunicator:
     are tally-identical by construction.
     """
 
-    def __init__(self, rank: int, size: int, stats: CommStats):
+    def __init__(self, rank: int, size: int, stats: CommStats) -> None:
         self._rank = rank
         self._size = size
         self._stats = stats
@@ -565,7 +565,7 @@ class Transport(ABC):
     #: Registry name of the backend (``threads`` / ``mp-shm`` / ``sockets``).
     name: ClassVar[str] = "abstract"
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
         self.size = size

@@ -101,14 +101,17 @@ class ChannelSet:
         for peer in self._send_locks:
             try:
                 self.send_frame(peer, ("abort", reason))
-            except Exception:  # noqa: BLE001 - peer may already be gone
+            except (OSError, ValueError, EOFError):
+                # The peer may already be gone (closed pipe / dead
+                # socket); anything else is a real bug and propagates.
                 pass
 
     def say_bye(self) -> None:
         for peer in self._send_locks:
             try:
                 self.send_frame(peer, ("bye", self.rank))
-            except Exception:  # noqa: BLE001 - peer may already be gone
+            except (OSError, ValueError, EOFError):
+                # Peer already gone; see broadcast_abort.
                 pass
 
     # -- readers -----------------------------------------------------------
@@ -146,7 +149,8 @@ class ChannelSet:
         for peer in self._send_locks:
             try:
                 self._close_peer(peer)
-            except Exception:  # noqa: BLE001 - teardown best-effort
+            except (OSError, ValueError, EOFError):
+                # Best-effort teardown of an already-broken channel.
                 pass
 
 
@@ -261,6 +265,8 @@ class ProcessWorld(Transport):
                 outcome: tuple = ("result", value)
             except _Aborted as exc:
                 outcome = ("aborted", str(exc))
+            # repro: ignore[RPR008]: not a swallow — the exception ships
+            # over the result pipe and the parent re-raises it in run().
             except BaseException as exc:  # noqa: BLE001 - shipped to parent
                 channels.broadcast_abort(f"rank {rank} failed: {exc!r}")
                 outcome = ("error", _picklable(exc))
@@ -277,7 +283,8 @@ class ProcessWorld(Transport):
                 result_conn.send(
                     ("error", RuntimeError(f"rank {rank} result not shippable: {exc}"))
                 )
-            except Exception:  # noqa: BLE001 - parent already gone
+            except (OSError, ValueError, EOFError):
+                # The parent itself is gone; nobody is left to tell.
                 pass
         result_conn.close()
         channels.close()

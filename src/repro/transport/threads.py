@@ -99,6 +99,8 @@ class SimMPI(Transport):
                 # Secondary failure: this rank was blocked on a message
                 # from a rank that already died; not the root cause.
                 errors[rank] = exc
+            # repro: ignore[RPR008]: not a swallow — stored in errors[]
+            # and re-raised to the caller after the join below.
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors[rank] = exc
                 # Tear the job down like a real MPI abort: wake every

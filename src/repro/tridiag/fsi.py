@@ -118,7 +118,7 @@ def fsi_tridiagonal(
             results[t] = ops.right(G_seeds[m, m], k, k)
 
         parallel_for(sub_body, len(todo), num_threads=num_threads)
-        for t, (m, k) in enumerate(todo):
+        for t, (_m, k) in enumerate(todo):
             blk = results[t]
             assert blk is not None
             out[(k, k + 1)] = blk

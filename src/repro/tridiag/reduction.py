@@ -146,7 +146,7 @@ def schur_reduce(
         deltas[ri] = out
 
     parallel_for(body, len(runs), num_threads=num_threads)
-    for ri, (lo, hi, left, right) in enumerate(runs):
+    for ri, (_lo, _hi, left, right) in enumerate(runs):
         out = deltas[ri]
         assert out is not None
         if left:

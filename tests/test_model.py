@@ -115,7 +115,7 @@ class TestFig9:
         assert feasible[576] == [True, True, True, True, False]
         assert feasible[1024][0] and not feasible[1024][-1]
         # Monotone: once infeasible, stays infeasible with more ranks.
-        for N, flags in feasible.items():
+        for _N, flags in feasible.items():
             seen_false = False
             for f in flags:
                 seen_false = seen_false or not f
