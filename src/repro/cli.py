@@ -347,12 +347,28 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if _telemetry_wanted(args):
         telemetry.configure(sample_rate=args.trace_sample)
 
+    spectral = None
+    if args.n_omega > 0:
+        if args.flips > 0:
+            print(
+                "FAIL: --flips and --n-omega are mutually exclusive"
+                " (spectral jobs have no delta path)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.spectral import SpectralSpec
+
+        spectral = SpectralSpec.linear(
+            args.omega_min, args.omega_max, args.n_omega, args.eta
+        )
+
     spec = ModelSpec(
         nx=args.nx, ny=args.nx, L=args.slices, U=args.U, beta=args.beta
     )
     field = HSField.random(spec.L, spec.N, np.random.default_rng(args.seed))
     job = GreensJob.from_field(
-        spec, field, c=args.c, pattern=Pattern(args.pattern), q=args.q
+        spec, field, c=args.c, pattern=Pattern(args.pattern), q=args.q,
+        spectral=spectral,
     )
     print(f"job {job!r}")
     config = ServiceConfig(
@@ -379,9 +395,64 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"  resubmit: cache_hit={again.cache_hit}"
             f" (hit rate {svc.stats()['cache']['hit_rate'] * 100:.0f}%)"
         )
-        if not (again.cache_hit and second.fingerprint == first.fingerprint):
+        if spectral is not None:
+            # A fanned-out spectral parent is stitched, not cached; its
+            # chunks are the cache unit, so the resubmission must have
+            # produced at least one chunk hit instead.
+            if svc.stats()["cache"]["hits"] < 1:
+                print(
+                    "FAIL: spectral resubmission hit no cached chunk",
+                    file=sys.stderr,
+                )
+                return 1
+        elif not again.cache_hit:
             print("FAIL: resubmission did not hit the cache", file=sys.stderr)
             return 1
+        if second.fingerprint != first.fingerprint:
+            print("FAIL: resubmission changed fingerprint", file=sys.stderr)
+            return 1
+        if spectral is not None:
+            from repro.resilience.guards import guarded_inv
+            from repro.spectral import density_of_states, spectral_function
+
+            grid = spectral.grid()
+            print(f"  rung={first.rung} over omega in"
+                  f" [{grid.omegas[0]:+.2f}, {grid.omegas[-1]:+.2f}],"
+                  f" eta={grid.etas[0]:g}")
+            diag = sorted(kl for kl in first.blocks if kl[0] == kl[1])
+            if diag:
+                A = spectral_function(first.blocks[diag[0]])
+                dos = density_of_states(A)
+                k = diag[0][0]
+                print(f"  DOS of time block ({k},{k}):")
+                for j in range(grid.n):
+                    print(f"    omega={grid.omegas[j]:+7.3f}"
+                          f"  A={dos[j]: .6f}")
+            # Dense-oracle self-check: on CLI-sized problems the full
+            # resolvent is directly computable, so verify the service's
+            # answer before reporting success.
+            dense = spec.build_model().build_matrix(
+                field, spec.sigma
+            ).to_dense()
+            eye = np.eye(dense.shape[0])
+            N = spec.N
+            worst = 0.0
+            for j in (0, grid.n // 2, grid.n - 1):
+                ref = guarded_inv(grid.z[j] * eye - dense)
+                scale = float(np.abs(ref).max()) or 1.0
+                for (k, l), blk in first.blocks.items():
+                    refb = ref[(k - 1) * N:k * N, (l - 1) * N:l * N]
+                    worst = max(
+                        worst, float(np.abs(blk[j] - refb).max()) / scale
+                    )
+            print(f"  dense-oracle check over 3 shifts: max err {worst:.3e}")
+            if worst > 1e-8:
+                print(
+                    "FAIL: spectral blocks disagree with the dense"
+                    " resolvent oracle",
+                    file=sys.stderr,
+                )
+                return 1
         if args.flips > 0:
             from repro.core.fsi import fsi
 
@@ -603,6 +674,17 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--base", default=None,
                     help="explicit base fingerprint for the --flips"
                          " resubmission (defaults to the first job's)")
+    sb.add_argument("--n-omega", type=int, default=0,
+                    help="request the resolvent G(omega + i eta) on this"
+                         " many grid points instead of the equal-time"
+                         " Green's function (0 = equal-time)")
+    sb.add_argument("--omega-min", type=float, default=-4.0,
+                    help="lower edge of the omega grid")
+    sb.add_argument("--omega-max", type=float, default=4.0,
+                    help="upper edge of the omega grid")
+    sb.add_argument("--eta", type=float, default=0.1,
+                    help="broadening: the constant imaginary part of the"
+                         " shifts")
     sb.add_argument("--trace-out", default=None,
                     help="write a Chrome trace-event JSON of all spans here")
     sb.add_argument("--trace-sample", type=float, default=1.0,

@@ -6,6 +6,11 @@ lattice.  This module provides
 
 * :func:`lattice_momenta` — the ``N`` allowed momenta
   ``q = 2 pi (m/nx, n/ny)``;
+* :func:`momentum_transform` — the quadratic-form lattice Fourier
+  transform ``V(q) = (1/N) phi_q^H C phi_q`` for one or a stack of
+  pairwise matrices; the single verified transform path shared by the
+  structure factors below and the momentum-resolved spectral functions
+  (:func:`repro.spectral.functions.momentum_spectral_function`);
 * :func:`structure_factor_grid` — ``S(q)`` for a full pairwise
   correlation matrix at every allowed momentum, via the lattice Fourier
   transform;
@@ -28,6 +33,7 @@ from ..hubbard.lattice import RectangularLattice
 
 __all__ = [
     "lattice_momenta",
+    "momentum_transform",
     "structure_factor_grid",
     "from_distance_classes",
 ]
@@ -51,6 +57,40 @@ def lattice_momenta(lattice: RectangularLattice) -> np.ndarray:
     return grid
 
 
+def momentum_transform(
+    C: np.ndarray, lattice: RectangularLattice
+) -> tuple[np.ndarray, np.ndarray]:
+    """``V(q) = (1/N) phi_q^H C phi_q`` at every allowed momentum.
+
+    The quadratic-form lattice Fourier transform with plane-wave
+    vectors ``(phi_q)_i = e^{i q . r_i}``, batched over any leading
+    dimensions of ``C`` (shape ``(..., N, N)`` over sites).  Callers
+    interpret the complex output: symmetric real ``C`` gives real
+    structure factors, Hermitian PSD ``C`` (a spectral function) gives
+    real non-negative ``A(q)`` — both identities are asserted in the
+    tests, and Parseval (``sum_q V(q) = tr C``) holds exactly.
+
+    Returns ``(momenta, values)``: ``(N, 2)`` and ``(..., N)`` complex.
+    """
+    C = np.asarray(C)
+    N = lattice.nsites
+    if C.ndim < 2 or C.shape[-2:] != (N, N):
+        raise ValueError(f"C must be (..., {N}, {N}), got {C.shape!r}")
+    momenta = lattice_momenta(lattice)
+    coords = lattice.coords.astype(float)
+    phases = np.exp(1j * coords @ momenta.T)  # (N sites, N momenta)
+    values = (
+        np.einsum(
+            "iq,...ij,jq->...q",
+            phases.conj(),
+            C.astype(complex, copy=False),
+            phases,
+        )
+        / N
+    )
+    return momenta, values
+
+
 def structure_factor_grid(
     C: np.ndarray, lattice: RectangularLattice
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -63,11 +103,7 @@ def structure_factor_grid(
     N = lattice.nsites
     if C.shape != (N, N):
         raise ValueError(f"C must be ({N}, {N}), got {C.shape!r}")
-    momenta = lattice_momenta(lattice)
-    coords = lattice.coords.astype(float)
-    phases = np.exp(1j * coords @ momenta.T)  # (N sites, N momenta)
-    # S(q) = (1/N) conj(phase_q)^T C phase_q  per momentum.
-    S = np.einsum("iq,ij,jq->q", phases.conj(), C.astype(complex), phases) / N
+    momenta, S = momentum_transform(C, lattice)
     if np.abs(S.imag).max() > 1e-8 * max(np.abs(S.real).max(), 1.0):
         raise ValueError("structure factor has a large imaginary part; "
                          "is the correlation matrix symmetric?")

@@ -155,7 +155,14 @@ def _maybe_nonfinite(arr: np.ndarray) -> bool:
     """Cheap screen: a NaN/Inf entry poisons the sum (``inf - inf`` is
     NaN), so one C reduction — no boolean temporary — clears the common
     all-finite case.  A positive here may rarely be overflow of a
-    genuinely finite array, so callers re-verify with an exact scan."""
+    genuinely finite array, so callers re-verify with an exact scan.
+
+    Complex arrays are screened through ``|x|``: the magnitude maps a
+    non-finite entry in *either* component to ``+inf``/NaN, and the
+    resulting sum of non-negative reals cannot cancel back to a finite
+    value the way signed real/imaginary parts can."""
+    if np.issubdtype(arr.dtype, np.complexfloating):
+        return not bool(np.isfinite(np.abs(arr).sum()))
     return not bool(np.isfinite(arr.sum()))
 
 
@@ -215,10 +222,14 @@ def estimate_condition(A: np.ndarray) -> float:
     diag = np.abs(np.diag(lu))
     if not np.all(diag > 0.0) or not np.isfinite(diag).all():
         return float("inf")
+    # onenormest probes the *adjoint* through rmatvec: for complex
+    # blocks that is the conjugate transpose (lu_solve trans=2), not the
+    # plain transpose — using trans=1 silently estimates the wrong norm.
+    rtrans = 2 if np.iscomplexobj(A) else 1
     op = spla.LinearOperator(
         A.shape,
         matvec=lambda x: sla.lu_solve((lu, piv), x, check_finite=False),
-        rmatvec=lambda x: sla.lu_solve((lu, piv), x, trans=1,
+        rmatvec=lambda x: sla.lu_solve((lu, piv), x, trans=rtrans,
                                        check_finite=False),
         dtype=A.dtype,
     )

@@ -31,6 +31,7 @@ from ..core.patterns import Pattern, Selection
 from ..hubbard.hs_field import HSField
 from ..hubbard.lattice import RectangularLattice
 from ..hubbard.matrix import HubbardModel
+from ..spectral.grid import SpectralSpec
 
 __all__ = ["ModelSpec", "GreensJob", "JobResult"]
 
@@ -39,7 +40,11 @@ __all__ = ["ModelSpec", "GreensJob", "JobResult"]
 #: v2: results gained delta-serving fields (``JobResult.h`` /
 #: ``delta_depth``); older cached entries lack the base field needed to
 #: chain updates, so they must not be served as delta bases.
-_FINGERPRINT_VERSION = 2
+#: v3: jobs gained the spectral workload discriminator — every job now
+#: hashes an explicit workload marker (equal-time vs. the encoded
+#: omega-grid), so equal-time entries can never collide with spectral
+#: ones and pre-v3 entries never serve either.
+_FINGERPRINT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -133,6 +138,12 @@ class GreensJob:
     solve.  It is deliberately excluded from equality and the
     fingerprint: the hint changes how a result is computed, never what
     the result is.
+
+    ``spectral`` switches the workload: ``None`` requests the classic
+    equal-time selected inversion; a :class:`~repro.spectral.grid.
+    SpectralSpec` requests resolvent blocks ``G(omega + i eta)`` on
+    that grid instead.  The grid is part of the physics, so (unlike the
+    routing hint) it participates in equality and the fingerprint.
     """
 
     spec: ModelSpec
@@ -141,6 +152,7 @@ class GreensJob:
     pattern: Pattern = Pattern.DIAGONAL
     q: int = 0
     base_fingerprint: str | None = field(default=None, compare=False)
+    spectral: "SpectralSpec | None" = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.pattern, Pattern):
@@ -158,6 +170,12 @@ class GreensJob:
                 f"h has {len(self.h)} entries, expected"
                 f" L*N = {self.spec.L * self.spec.N}"
             )
+        if self.spectral is not None and not isinstance(
+            self.spectral, SpectralSpec
+        ):
+            raise TypeError(
+                f"spectral must be a SpectralSpec or None, got {self.spectral!r}"
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -169,6 +187,7 @@ class GreensJob:
         pattern: Pattern = Pattern.DIAGONAL,
         q: int | None = None,
         rng: np.random.Generator | int | None = None,
+        spectral: SpectralSpec | None = None,
     ) -> "GreensJob":
         """Build a job from a live field; draw ``q`` here if not given."""
         if q is None:
@@ -179,6 +198,7 @@ class GreensJob:
             c=c,
             pattern=pattern,
             q=q,
+            spectral=spectral,
         )
 
     def field(self) -> HSField:
@@ -200,14 +220,28 @@ class GreensJob:
         digest.update(self.spec.encode())
         digest.update(struct.pack("<2i", self.c, self.q))
         digest.update(self.pattern.value.encode())
+        # Workload discriminator (v3): an explicit marker keeps the
+        # equal-time and spectral encodings prefix-free, so no grid can
+        # ever collide with an equal-time request.
+        if self.spectral is None:
+            digest.update(b"equal_time")
+        else:
+            digest.update(b"spectral")
+            digest.update(self.spectral.encode())
         digest.update(self.h)
         return digest.hexdigest()
 
     @property
+    def workload(self) -> str:
+        """``"equal_time"`` or ``"spectral"`` — the job's workload class."""
+        return "equal_time" if self.spectral is None else "spectral"
+
+    @property
     def compat_key(self) -> tuple:
         """Micro-batching compatibility: jobs sharing this key differ
-        only in the HS field and ``q`` and can run as one fleet."""
-        return (self.spec, self.c, self.pattern)
+        only in the HS field and ``q`` and can run as one fleet.
+        Spectral jobs batch only with jobs sweeping the same grid."""
+        return (self.spec, self.c, self.pattern, self.spectral)
 
     @property
     def selection(self) -> Selection:
@@ -239,9 +273,11 @@ class JobResult:
     stage_flops: dict[str, float] = field(default_factory=dict)
     exec_seconds: float = 0.0
     #: Which solve path served the blocks: ``"direct"``, a fallback
-    #: ``"c=<n>"`` rung, ``"udt"`` (see ``core.fsi.fsi_resilient``), or
+    #: ``"c=<n>"`` rung, ``"udt"`` (see ``core.fsi.fsi_resilient``),
     #: ``"delta(<k>)"`` for a rank-``k`` Sherman–Morrison update of a
-    #: cached base (see ``service.scheduler`` and ``core.smw``).
+    #: cached base (see ``service.scheduler`` and ``core.smw``), or
+    #: ``"spectral(<n_omega>)"`` for a resolvent sweep over an
+    #: ``n_omega``-point grid (blocks then stack shifts along axis 0).
     rung: str = "direct"
     #: The HS-field buffer the blocks belong to.  Stored so a cached
     #: result can serve as the *base* of a later delta update (the

@@ -93,6 +93,20 @@ class ServiceMetrics:
             "Delta attempts abandoned to a full solve",
             labels=("reason",),
         )
+        # spectral serving (resolvent omega-grid workload)
+        self.spectral_requests = r.counter(
+            "repro_spectral_requests_total",
+            "Client-facing spectral (omega-grid) requests submitted",
+        )
+        self.spectral_chunks = r.counter(
+            "repro_spectral_chunks_total",
+            "Omega-grid chunk jobs admitted (fan-out pieces and"
+            " single-chunk grids alike)",
+        )
+        self.spectral_stitch = r.histogram(
+            "repro_spectral_stitch_seconds",
+            "Time concatenating chunk results back into grid order",
+        )
         self.shed = r.counter(
             "repro_jobs_shed_total", "Queue entries shed under backpressure"
         )
@@ -182,6 +196,11 @@ class ServiceMetrics:
                 "misses": self.delta_misses.value,
                 "fallbacks": delta_fallbacks,
             },
+            "spectral": {
+                "requests": self.spectral_requests.value,
+                "chunks": self.spectral_chunks.value,
+                "stitch_seconds": self.spectral_stitch.snapshot(),
+            },
             "latency_seconds": self.latency.snapshot(),
             "queue_wait_seconds": self.queue_wait.snapshot(),
             "exec_seconds": self.exec_time.snapshot(),
@@ -212,6 +231,8 @@ class ServiceMetrics:
                 )
                 or "none"
             ),
+            f"  spectral: {s['spectral']['requests']} requests /"
+            f" {s['spectral']['chunks']} chunks",
             f"  latency: p50 {lat['p50'] * 1e3:8.2f} ms"
             f"  p95 {lat['p95'] * 1e3:8.2f} ms"
             f"  p99 {lat['p99'] * 1e3:8.2f} ms"

@@ -26,6 +26,7 @@ with :class:`ServiceClosedError` and cancels outstanding pool work.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import math
 import threading
@@ -43,6 +44,7 @@ from ..resilience.chaos import FaultKind, FaultPlan
 from ..resilience.guards import GuardConfig, NumericalHealthError
 from ..resilience.health import BreakerState, CircuitBreaker, ServiceState
 from ..telemetry import runtime as _telemetry
+from ..telemetry.context import use_context
 from ..telemetry.spans import NULL_SPAN
 from .cache import CacheStats, ShardedResultCache
 from .errors import (
@@ -123,6 +125,13 @@ class ServiceConfig:
     #: factorisations to keep (LRU).  Factoring is O(L N^3) — the path
     #: only pays off when consecutive requests reuse a warm base.
     delta_solver_states: int = 4
+    #: Spectral fan-out width: an omega-grid longer than this many
+    #: points is split into contiguous chunk jobs of at most this size,
+    #: scheduled independently (one factorisation each, shifts shared
+    #: inside the chunk) and stitched back in grid order.  Each chunk is
+    #: cached under its own fingerprint, so re-requests and overlapping
+    #: grids hit per (fingerprint, omega-chunk).
+    spectral_chunk: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -141,6 +150,8 @@ class ServiceConfig:
             raise ValueError("delta_max_depth must be >= 1")
         if self.delta_solver_states < 1:
             raise ValueError("delta_solver_states must be >= 1")
+        if self.spectral_chunk < 1:
+            raise ValueError("spectral_chunk must be >= 1")
 
 
 class JobTicket:
@@ -259,6 +270,9 @@ class GreensService:
         #: LRU of per-base Woodbury factorisations (delta fast path).
         self._delta_states: OrderedDict[str, PCyclicWoodbury] = OrderedDict()
         self._delta_lock = threading.Lock()
+        #: Marks the current thread as inside a spectral fan-out, so the
+        #: re-entrant chunk submits don't count as client requests.
+        self._spectral_fanout = threading.local()
         self._closed = False
         self._stopping = threading.Event()
         self._register_gauges()
@@ -371,8 +385,24 @@ class GreensService:
             fingerprint=job.fingerprint[:12],
             pattern=job.pattern.value,
             c=job.c,
+            workload=job.workload,
         )
         self.metrics.submitted.inc()
+
+        # Wide spectral grids fan out into chunk jobs through the
+        # ordinary path below and stitch asynchronously; the parent
+        # fingerprint is never cached (chunks are the cache unit), so
+        # no parent lookup happens here.  Grids that fit one chunk flow
+        # on as a single plain job.
+        if job.spectral is not None:
+            # Fan-out children re-enter submit() on the same thread;
+            # only the top-level request counts as a *request*, every
+            # admitted grid piece counts as a *chunk*.
+            if not getattr(self._spectral_fanout, "active", False):
+                self.metrics.spectral_requests.inc()
+            if job.spectral.n_omega > self.config.spectral_chunk:
+                return self._submit_spectral(job, ticket, priority)
+            self.metrics.spectral_chunks.inc()
 
         # The cache's routing layer counts the hit/miss (shard-labelled,
         # exactly once) — no metric increments here.
@@ -462,6 +492,94 @@ class GreensService:
         """Synchronous convenience: ``submit(...).result(...)``."""
         return self.submit(job, priority=priority).result(timeout=timeout)
 
+    # -- spectral fan-out (omega-grid workload) -------------------------
+    def _submit_spectral(
+        self, job: GreensJob, ticket: JobTicket, priority: int
+    ) -> JobTicket:
+        """Fan a wide omega-grid out into chunk jobs; stitch in order.
+
+        Each contiguous grid chunk becomes an ordinary job with its own
+        fingerprint — coalescing, caching, batching and resilience all
+        apply per chunk, and one chunk runs one factorisation shared by
+        its shifts.  A background thread waits for every chunk ticket
+        and concatenates the shift axes back in grid order; the parent
+        result is *not* cached (the chunks are the cache unit — a
+        re-request re-stitches from chunk hits, and overlapping grids
+        reuse any chunk they share).
+        """
+        assert job.spectral is not None
+        cfg = self.config
+        chunks = job.spectral.chunk_specs(cfg.spectral_chunk)
+        span = _telemetry.start_span(
+            "service.spectral",
+            parent=ticket._span.context,
+            n_omega=job.spectral.n_omega,
+            chunks=len(chunks),
+        )
+        children: list[JobTicket] = []
+        self._spectral_fanout.active = True
+        try:
+            # Submitting under the spectral span's context parents every
+            # chunk's ``service.request`` span beneath it: the fan-out
+            # reads as one stitched trace.
+            with use_context(span.context):
+                for chunk in chunks:
+                    child = dataclasses.replace(job, spectral=chunk)
+                    children.append(self.submit(child, priority=priority))
+        except ServiceError as exc:
+            # Same contract as a queue rejection of a plain job: the
+            # caller sees the error; chunks already admitted complete
+            # normally and land in the cache for the retry.
+            span.set_attribute("error", type(exc).__name__)
+            span.end()
+            raise
+        finally:
+            self._spectral_fanout.active = False
+
+        def stitch() -> None:
+            try:
+                results = [child.result() for child in children]
+            except Exception as exc:
+                # Never silent: the spectral span records which chunk
+                # error surfaced, and the parent ticket carries it.
+                span.set_attribute("error", type(exc).__name__)
+                span.end()
+                ticket._fail(exc)
+                self.metrics.failed.inc()
+                return
+            t0 = time.perf_counter()
+            blocks = {
+                kl: np.concatenate([r.blocks[kl] for r in results], axis=0)
+                for kl in results[0].blocks
+            }
+            stage_flops: dict[str, float] = {}
+            for r in results:
+                for stage, f in r.stage_flops.items():
+                    stage_flops[stage] = stage_flops.get(stage, 0.0) + f
+            # Chunk exec/flops were already absorbed into the service
+            # metrics at chunk completion; the stitched totals live only
+            # on the parent result for the caller's accounting.
+            assert job.spectral is not None
+            result = JobResult(
+                fingerprint=job.fingerprint,
+                selection=job.selection,
+                blocks=blocks,
+                flops=sum(r.flops for r in results),
+                stage_flops=stage_flops,
+                exec_seconds=sum(r.exec_seconds for r in results),
+                rung=f"spectral({job.spectral.n_omega})",
+            )
+            self.metrics.spectral_stitch.observe(time.perf_counter() - t0)
+            span.end()
+            ticket._resolve(result)
+            self.metrics.latency.observe(ticket.latency or 0.0)
+            self.metrics.completed.inc()
+
+        threading.Thread(
+            target=stitch, name="spectral-stitch", daemon=True
+        ).start()
+        return ticket
+
     # -- delta fast path (Sherman–Morrison serving) ---------------------
     def _delta_state(self, base: JobResult, job: GreensJob) -> PCyclicWoodbury:
         """The per-base Woodbury factorisation (LRU-cached).
@@ -504,6 +622,10 @@ class GreensService:
         """
         cfg = self.config
         if not cfg.delta_updates or job.base_fingerprint is None:
+            return False
+        if job.spectral is not None:
+            # Resolvent sweeps have no delta semantics: a Woodbury
+            # update of an equal-time base says nothing about G(z).
             return False
         span = _telemetry.start_span(
             "service.delta",

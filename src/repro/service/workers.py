@@ -73,6 +73,12 @@ def execute_job(
     serial-path control flow) the solve routes through
     :func:`~repro.core.pdiv.fsi_distributed` on the named ``transport``
     backend, reported as rung ``pdiv(P)``.
+
+    Spectral jobs (``job.spectral`` set) run a factor-once
+    :class:`~repro.spectral.resolvent.ResolventFactor` sweep over the
+    job's omega-grid instead of an equal-time FSI — guards, when given,
+    ride along as the per-shift fallback ladder — and report rung
+    ``spectral(n_omega)`` with blocks stacked ``(n_omega, N, N)``.
     """
     # Worker-side imports keep module load light.
     from ..core.fsi import fsi, fsi_resilient
@@ -81,16 +87,34 @@ def execute_job(
     pc = model.build_matrix(job.field(), job.spec.sigma)
     with _telemetry.activate_remote(trace_ctx) as local_collector:
         with _telemetry.span(
-            "worker.job", fingerprint=job.fingerprint[:12]
+            "worker.job", fingerprint=job.fingerprint[:12],
+            workload=job.workload,
         ):
             with _chaos.job_key(job.fingerprint):
                 with FlopTracer() as tracer:
                     t0 = time.perf_counter()
-                    if guards is not None:
+                    if job.spectral is not None:
+                        from ..spectral.resolvent import ResolventFactor
+
+                        grid = job.spectral.grid()
+                        with tracer.stage("spectral"):
+                            factor = ResolventFactor(
+                                pc, job.c, pattern=job.pattern, q=job.q,
+                                guards=guards, num_threads=num_threads,
+                            )
+                            swept = factor.sweep(
+                                grid, num_threads=num_threads
+                            )
+                        selection = factor.selection
+                        blocks = dict(swept.blocks)
+                        rung = f"spectral({grid.n})"
+                    elif guards is not None:
                         res = fsi_resilient(
                             pc, job.c, pattern=job.pattern, q=job.q,
                             num_threads=num_threads, guards=guards,
                         )
+                        selection = res.selection
+                        blocks = dict(res.selected.items())
                         rung = res.rung
                     elif pdiv_partitions >= 2:
                         from ..core.pdiv import fsi_distributed
@@ -99,18 +123,22 @@ def execute_job(
                             pc, job.c, pattern=job.pattern, q=job.q,
                             partitions=pdiv_partitions, transport=transport,
                         )
+                        selection = res.selection
+                        blocks = dict(res.selected.items())
                         rung = f"pdiv({res.report.partitions})"
                     else:
                         res = fsi(
                             pc, job.c, pattern=job.pattern, q=job.q,
                             num_threads=num_threads,
                         )
+                        selection = res.selection
+                        blocks = dict(res.selected.items())
                         rung = res.rung
                     elapsed = time.perf_counter() - t0
     return JobResult(
         fingerprint=job.fingerprint,
-        selection=res.selection,
-        blocks=dict(res.selected.items()),
+        selection=selection,
+        blocks=blocks,
         flops=tracer.total_flops,
         stage_flops={name: tracer.flops(name) for name in tracer.stages},
         exec_seconds=elapsed,
@@ -147,7 +175,15 @@ def execute_batch(
     if len({j.compat_key for j in jobs}) != 1:
         raise ValueError("execute_batch requires jobs sharing one compat_key")
     n_ranks = min(fleet_ranks, len(jobs))
-    if n_ranks <= 1 or guards is not None or pdiv_partitions >= 2:
+    # Spectral batches run inline too: each sweep already parallelises
+    # over its omega-grid, and the fleet path's (h, c, pattern, q)
+    # tuples cannot carry a grid.
+    if (
+        n_ranks <= 1
+        or guards is not None
+        or pdiv_partitions >= 2
+        or jobs[0].spectral is not None
+    ):
         with _telemetry.activate_remote(trace_ctx) as local_collector:
             with _telemetry.span("worker.batch", jobs=len(jobs)):
                 results = [

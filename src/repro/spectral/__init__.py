@@ -1,0 +1,41 @@
+"""Frequency-domain Green's functions on the p-cyclic solver stack.
+
+The subsystem turns the equal-time selected-inversion machinery into an
+omega-domain engine: the shifted operator ``zI - M`` at ``z = omega +
+i eta`` is still block p-cyclic up to one scalar per shift, so a single
+factorisation (:class:`ResolventFactor`) sweeps an entire
+:class:`OmegaGrid` of shifts and returns selected blocks of ``G(z)``;
+:mod:`repro.spectral.functions` derives ``A(omega)``, the density of
+states and momentum-resolved ``A(q, omega)`` from them.  The service
+layer runs the same sweep as a first-class workload (``GreensJob``
+with a :class:`SpectralSpec`); see ``docs/spectral.md``.
+"""
+
+from .functions import (
+    density_of_states,
+    momentum_spectral_function,
+    spectral_function,
+    sum_rule,
+)
+from .grid import OmegaGrid, SpectralSpec
+from .resolvent import (
+    ResolventFactor,
+    SpectralResult,
+    shift_scale,
+    shifted_pcyclic,
+    spectral_sweep_flops,
+)
+
+__all__ = [
+    "OmegaGrid",
+    "ResolventFactor",
+    "SpectralResult",
+    "SpectralSpec",
+    "density_of_states",
+    "momentum_spectral_function",
+    "shift_scale",
+    "shifted_pcyclic",
+    "spectral_function",
+    "spectral_sweep_flops",
+    "sum_rule",
+]

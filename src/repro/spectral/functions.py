@@ -1,0 +1,104 @@
+"""Spectral functions derived from resolvent blocks.
+
+From a stack of Green's-function blocks ``G(z_j)`` (shape
+``(n_omega, N, N)``, complex — what :meth:`ResolventFactor.sweep`
+returns per selected block) this module derives the standard
+observables:
+
+* the matrix spectral function ``A(omega) = i (G - G^H) / (2 pi)``,
+  whose diagonal is the familiar ``-Im G_kk(omega) / pi``.  For a
+  Hermitian operator it equals ``(eta/pi) (z-H)^{-1} (z-H)^{-H}`` —
+  Hermitian positive semi-definite at every ``omega``, which the tests
+  assert;
+* the density of states ``rho(omega) = tr A(omega) / N`` — each orbital
+  contributes a unit-mass Lorentzian, so ``integral rho == 1`` up to
+  grid truncation (the sum rule);
+* momentum-resolved ``A(q, omega) = (1/N) phi_q^H A(omega) phi_q`` over
+  the lattice Brillouin zone, through the same verified transform the
+  structure factors use (:func:`repro.dqmc.fourier.momentum_transform`).
+
+All helpers take plain arrays so they compose with either the local
+:class:`~repro.spectral.resolvent.SpectralResult` blocks or stitched
+service results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dqmc.fourier import momentum_transform
+from ..hubbard.lattice import RectangularLattice
+from .grid import OmegaGrid
+
+__all__ = [
+    "spectral_function",
+    "density_of_states",
+    "momentum_spectral_function",
+    "sum_rule",
+]
+
+
+def spectral_function(G: np.ndarray) -> np.ndarray:
+    """``A = i (G - G^H) / (2 pi)`` for a ``(..., N, N)`` block stack.
+
+    The anti-Hermitian part of the resolvent; Hermitian by construction
+    (and PSD when the underlying operator is Hermitian).  The diagonal
+    reduces to ``-Im G_kk / pi`` for Hermitian problems.
+    """
+    G = np.asarray(G)
+    if G.ndim < 2 or G.shape[-1] != G.shape[-2]:
+        raise ValueError(f"expected (..., N, N) blocks, got shape {G.shape!r}")
+    Gh = np.conjugate(np.swapaxes(G, -1, -2))
+    return (1j / (2.0 * np.pi)) * (G - Gh)
+
+
+def density_of_states(A: np.ndarray) -> np.ndarray:
+    """``rho(omega) = tr A(omega) / N`` from an ``(n_omega, N, N)`` stack.
+
+    Real by Hermiticity of ``A``; normalised so the grid integral of
+    ``rho`` approaches 1 (one state per orbital) on a wide enough grid.
+    """
+    A = np.asarray(A)
+    if A.ndim != 3 or A.shape[-1] != A.shape[-2]:
+        raise ValueError(f"expected (n_omega, N, N), got shape {A.shape!r}")
+    return np.einsum("wii->w", A).real / A.shape[-1]
+
+
+def sum_rule(A: np.ndarray, grid: OmegaGrid) -> np.ndarray:
+    """Per-orbital spectral weight ``integral A_ii(omega) d omega``.
+
+    Trapezoid quadrature on the grid's frequencies; each orbital should
+    integrate to ~1 when the grid covers the spectrum well past the
+    broadening tails (Lorentzians decay like ``eta / omega^2``, so
+    expect percent-level truncation on practical windows).
+    """
+    A = np.asarray(A)
+    if A.ndim != 3 or A.shape[0] != grid.n:
+        raise ValueError(
+            f"expected ({grid.n}, N, N) matching the grid, got {A.shape!r}"
+        )
+    diag = np.einsum("wii->wi", A).real
+    return np.trapezoid(diag, grid.omegas, axis=0)
+
+
+def momentum_spectral_function(
+    A: np.ndarray, lattice: RectangularLattice
+) -> tuple[np.ndarray, np.ndarray]:
+    """``A(q, omega)`` on the lattice's momentum grid.
+
+    Parameters
+    ----------
+    A:
+        Spectral-function stack ``(n_omega, N, N)`` over lattice sites
+        (one equal-time slice of the space-time operator).
+    lattice:
+        The periodic lattice whose Brillouin zone to project onto.
+
+    Returns
+    -------
+    ``(momenta, values)`` with ``momenta`` of shape ``(N, 2)`` and
+    ``values`` of shape ``(n_omega, N)`` — real (Hermitian ``A`` makes
+    every quadratic form real) and non-negative for Hermitian problems.
+    """
+    momenta, values = momentum_transform(A, lattice)
+    return momenta, values.real

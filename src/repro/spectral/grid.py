@@ -1,0 +1,211 @@
+"""Frequency grids and broadening schedules for spectral solves.
+
+Two containers with one job each:
+
+* :class:`OmegaGrid` — the *numerical* grid: arrays ``omegas`` (real
+  frequencies) and ``etas`` (the positive Lorentzian broadenings), plus
+  constructors for the common shapes (linear, logarithmic, custom) and
+  chunking for the service fan-out.  The complex shifts the resolvent
+  actually solves at are ``z_j = omega_j + i eta_j``.
+* :class:`SpectralSpec` — the *wire form* of a grid: canonical
+  little-endian float64 bytes, hashable and byte-stable, so it can ride
+  inside a :class:`~repro.service.job.GreensJob` fingerprint.  Two
+  requests ask for the same physics iff their specs encode identically
+  (a "linear" grid and an elementwise-equal "custom" grid are the same
+  work, so the spec deliberately stores only the arrays, not the
+  provenance).
+
+Choosing ``eta``: the broadening sets the energy resolution — each pole
+of ``G`` becomes a Lorentzian of half-width ``eta`` in ``A(omega)``.
+Resolve it by keeping the grid spacing below ``~eta/2``; see
+``docs/spectral.md`` for the full guidance, including the small-``eta``
+ill-conditioned regime that the resilience ladder absorbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OmegaGrid", "SpectralSpec"]
+
+
+def _broadening(eta, n: int) -> np.ndarray:
+    """Broadcast a scalar or per-frequency ``eta`` to shape ``(n,)``."""
+    etas = np.atleast_1d(np.asarray(eta, dtype=np.float64))
+    if etas.shape == (1,):
+        etas = np.full(n, etas[0])
+    if etas.shape != (n,):
+        raise ValueError(
+            f"eta must be a scalar or have shape ({n},), got {etas.shape!r}"
+        )
+    return etas
+
+
+@dataclass(frozen=True, eq=False)
+class OmegaGrid:
+    """A validated ``(omega_j, eta_j)`` evaluation grid.
+
+    Attributes
+    ----------
+    omegas:
+        Real frequencies, shape ``(n,)``, finite.
+    etas:
+        Positive broadenings, shape ``(n,)`` — a schedule, so adaptive
+        grids can widen the broadening in the tails.
+    kind:
+        Provenance tag (``"linear"``, ``"log"``, ``"custom"``); purely
+        informational, not part of equality or fingerprints.
+    """
+
+    omegas: np.ndarray
+    etas: np.ndarray
+    kind: str = "custom"
+
+    def __post_init__(self) -> None:
+        omegas = np.ascontiguousarray(self.omegas, dtype=np.float64)
+        if omegas.ndim != 1 or omegas.size < 1:
+            raise ValueError(
+                f"omegas must be a non-empty 1-D array, got shape {omegas.shape!r}"
+            )
+        etas = _broadening(self.etas, omegas.size)
+        if not np.isfinite(omegas).all():
+            raise ValueError("omegas must be finite")
+        if not np.isfinite(etas).all() or (etas <= 0.0).any():
+            raise ValueError("etas must be finite and strictly positive")
+        if self.kind not in ("linear", "log", "custom"):
+            raise ValueError(f"unknown grid kind {self.kind!r}")
+        object.__setattr__(self, "omegas", omegas)
+        object.__setattr__(self, "etas", etas)
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def linear(
+        cls, omega_min: float, omega_max: float, n: int, eta
+    ) -> OmegaGrid:
+        """``n`` uniformly spaced frequencies on ``[omega_min, omega_max]``."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not (np.isfinite(omega_min) and np.isfinite(omega_max)):
+            raise ValueError("omega_min/omega_max must be finite")
+        if n > 1 and not omega_min < omega_max:
+            raise ValueError(
+                f"omega_min={omega_min} must be < omega_max={omega_max}"
+            )
+        omegas = np.linspace(omega_min, omega_max, n)
+        return cls(omegas, _broadening(eta, n), kind="linear")
+
+    @classmethod
+    def logarithmic(
+        cls, omega_min: float, omega_max: float, n: int, eta
+    ) -> OmegaGrid:
+        """``n`` log-spaced frequencies (both endpoints must be ``> 0``).
+
+        Useful for resolving low-frequency tails; mirror the grid by
+        hand (``custom``) for two-sided spectra.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not (0.0 < omega_min < omega_max) or not np.isfinite(omega_max):
+            raise ValueError(
+                "logarithmic grids need 0 < omega_min < omega_max, got "
+                f"[{omega_min}, {omega_max}]"
+            )
+        omegas = np.geomspace(omega_min, omega_max, n)
+        return cls(omegas, _broadening(eta, n), kind="log")
+
+    # -- views ---------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.omegas.size)
+
+    @property
+    def z(self) -> np.ndarray:
+        """The complex shifts ``omega_j + i eta_j``, shape ``(n,)``."""
+        return self.omegas + 1j * self.etas
+
+    def chunks(self, size: int) -> list[OmegaGrid]:
+        """Split into contiguous sub-grids of at most ``size`` points."""
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size}")
+        return [
+            OmegaGrid(self.omegas[i : i + size], self.etas[i : i + size])
+            for i in range(0, self.n, size)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OmegaGrid(kind={self.kind!r}, n={self.n}, "
+            f"omega=[{self.omegas[0]:g}, {self.omegas[-1]:g}], "
+            f"eta=[{self.etas.min():g}, {self.etas.max():g}])"
+        )
+
+
+@dataclass(frozen=True)
+class SpectralSpec:
+    """Canonical, hashable wire form of an :class:`OmegaGrid`.
+
+    Both fields are little-endian float64 bytes of the grid arrays, so
+    equality, hashing and :meth:`encode` are all byte-exact — exactly
+    what content-addressed job fingerprints need.
+    """
+
+    omegas: bytes
+    etas: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.omegas, bytes) or not isinstance(self.etas, bytes):
+            raise ValueError("SpectralSpec fields must be bytes")
+        if len(self.omegas) != len(self.etas):
+            raise ValueError(
+                f"omegas ({len(self.omegas)} bytes) and etas "
+                f"({len(self.etas)} bytes) must have equal length"
+            )
+        if len(self.omegas) % 8 != 0 or len(self.omegas) == 0:
+            raise ValueError("spec bytes must hold >= 1 float64 value")
+        # Decoding validates finiteness/positivity once, at construction;
+        # the fields are immutable bytes so the check cannot go stale.
+        self.grid()
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_grid(cls, grid: OmegaGrid) -> SpectralSpec:
+        return cls(
+            omegas=grid.omegas.astype("<f8").tobytes(),
+            etas=grid.etas.astype("<f8").tobytes(),
+        )
+
+    @classmethod
+    def linear(
+        cls, omega_min: float, omega_max: float, n_omega: int, eta
+    ) -> SpectralSpec:
+        return cls.from_grid(OmegaGrid.linear(omega_min, omega_max, n_omega, eta))
+
+    # -- views ---------------------------------------------------------
+    @property
+    def n_omega(self) -> int:
+        return len(self.omegas) // 8
+
+    def grid(self) -> OmegaGrid:
+        return OmegaGrid(
+            np.frombuffer(self.omegas, dtype="<f8"),
+            np.frombuffer(self.etas, dtype="<f8"),
+        )
+
+    def encode(self) -> bytes:
+        """Canonical bytes for fingerprinting (length-prefixed arrays)."""
+        import struct
+
+        return struct.pack("<i", self.n_omega) + self.omegas + self.etas
+
+    def chunk_specs(self, size: int) -> list[SpectralSpec]:
+        """The wire forms of :meth:`OmegaGrid.chunks` (service fan-out)."""
+        return [SpectralSpec.from_grid(g) for g in self.grid().chunks(size)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        g = self.grid()
+        return (
+            f"SpectralSpec(n_omega={g.n}, omega=[{g.omegas[0]:g}, "
+            f"{g.omegas[-1]:g}], eta=[{g.etas.min():g}, {g.etas.max():g}])"
+        )

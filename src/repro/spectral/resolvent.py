@@ -1,0 +1,381 @@
+"""Shifted p-cyclic resolvent solves: ``G(z) = (zI - M)^{-1}``.
+
+The frequency-domain Green's function evaluates the resolvent of the
+block p-cyclic DQMC matrix ``M`` at complex shifts ``z = omega + i eta``
+on a grid.  The whole point of this module is that the shifted operator
+is *still* block p-cyclic — with every block rescaled by one scalar —
+so one factorisation of the unshifted matrix serves the entire grid.
+
+Write the shifted operator and normalize its diagonal (``M`` is in
+normal form: unit diagonal, sub-diagonal ``-B_i``, corner ``+B_1``)::
+
+    A(z) = zI - M          # diagonal (z-1)I, sub-diagonal +B_i, corner -B_1
+    M~(z) = A(z) / (z-1)   # unit diagonal, blocks  s(z) * B_i
+
+with the single scalar ``s(z) = -1/(z-1)`` applying uniformly to every
+block — sub-diagonal, corner *and* the degenerate ``L == 1`` case — so
+
+    M~(z) = BlockPCyclic(s(z) * B)      and
+    G(z) = A(z)^{-1} = M~(z)^{-1} / (z - 1).
+
+Everything omega-independent is then computed **once** per matrix
+(:class:`ResolventFactor`):
+
+* the CLS clustered products ``R_i`` of the *unshifted* chain — the
+  shifted reduced chain is exactly ``s(z)^c * R_i`` (scalars commute
+  through the product), so the ``2b(c-1)N^3`` CLS stage never re-runs;
+* the per-block LU factors used by the wrapping moves — a solve with
+  ``s * B_i`` is ``1/s`` times a solve with ``B_i``, so the cached
+  factors of the base chain serve every shift (:class:`_ScaledLU`).
+
+Per shift only the ``~7 b^2 N^3`` BSOFI inversion of the tiny reduced
+chain (plus pattern wrapping) remains, which is what makes dense
+omega-grids cheap: see ``benchmarks/bench_spectral.py`` for the gate
+that keeps the factor-once sweep >= 3x the naive per-omega pipeline.
+
+Small ``eta`` with ``omega`` near an eigenvalue of ``M`` is exactly the
+ill-conditioned regime the resilience ladder exists for: with guards
+enabled, a tripped fast path falls back to a full
+:func:`~repro.core.fsi.fsi_resilient` solve of the shifted chain for
+that shift only, and the serving rung is recorded per shift on the
+``repro_spectral_shifts_total`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import _kernels as kr
+from ..core.adjacency import AdjacencyOps
+from ..core.bsofi import bsofi, bsofi_flops
+from ..core.cls import cls, cls_flops
+from ..core.fsi import fsi_resilient
+from ..core.patterns import Pattern, SelectedInversion, Selection
+from ..core.pcyclic import BlockPCyclic
+from ..core.wrap import wrap, wrap_flops
+from ..parallel.openmp import parallel_for
+from ..resilience import guards as _guards
+from ..resilience.guards import GuardConfig, GuardReport, NumericalHealthError
+from ..telemetry import runtime as _telemetry
+from .grid import OmegaGrid
+
+__all__ = [
+    "ResolventFactor",
+    "SpectralResult",
+    "shifted_pcyclic",
+    "shift_scale",
+    "spectral_sweep_flops",
+]
+
+
+def shift_scale(z: complex) -> tuple[complex, complex]:
+    """The ``(d, s)`` coefficients of the shift ``z``: ``d = z - 1``,
+    ``s = -1/d``, so ``zI - M = d * BlockPCyclic(s * B)``.
+
+    Any grid with ``eta > 0`` keeps ``z`` off the real axis, so ``d``
+    can only vanish for a real shift ``z == 1``.
+    """
+    d = complex(z) - 1.0
+    if d == 0.0:
+        raise ValueError(
+            "shift z=1 has a singular normalization (z-1)I; spectral "
+            "grids must keep eta > 0"
+        )
+    return d, -1.0 / d
+
+
+def shifted_pcyclic(pc: BlockPCyclic, z: complex) -> tuple[BlockPCyclic, complex]:
+    """Materialise ``(M~(z), d)`` with ``(zI - M)^{-1} = M~(z)^{-1} / d``.
+
+    This is the *naive* per-shift entry point (used by the fallback
+    ladder and the benchmark baseline); :class:`ResolventFactor` gets
+    the same operator implicitly without rebuilding anything per shift.
+    """
+    d, s = shift_scale(z)
+    return BlockPCyclic(np.ascontiguousarray(pc.B * s)), d
+
+
+class _ScaledLU:
+    """Solves with ``s * B`` through the cached factorisation of ``B``.
+
+    ``(sB)^{-1} X = (1/s) B^{-1} X`` and ``(sB)^T = s B^T``, so both
+    plain and transposed solves reuse the base LU with one scalar
+    correction — no per-shift factorisations anywhere in the sweep.
+    """
+
+    __slots__ = ("_base", "_inv_s")
+
+    def __init__(self, base: kr.LUFactors, s: complex):
+        self._base = base
+        self._inv_s = 1.0 / s
+
+    def solve(self, B: np.ndarray, trans: int = 0) -> np.ndarray:
+        out = self._base.solve(B, trans=trans)
+        out *= self._inv_s
+        return out
+
+
+class _ScaledChain:
+    """Lazy view of a p-cyclic chain with every block scaled by ``s``.
+
+    The wrapping gemm moves read blocks through ``ops.pc.block``; a lazy
+    scale (one ``N^2`` scalar multiply per accessed block) avoids
+    materialising the full ``L``-block shifted chain per shift when the
+    pattern only ever touches a few blocks.
+    """
+
+    __slots__ = ("_base", "_s", "L", "N")
+
+    def __init__(self, base: BlockPCyclic, s: complex):
+        self._base = base
+        self._s = s
+        self.L = base.L
+        self.N = base.N
+
+    def block(self, i: int) -> np.ndarray:
+        return self._base.block(i) * self._s
+
+
+class _ShiftedOps(AdjacencyOps):
+    """Adjacency moves on ``M~(z) = BlockPCyclic(s * B)`` without new LUs.
+
+    The parent class implements every boundary correction (identity
+    shifts, seam signs) purely from block *indices*, which the shift
+    does not change; only the block values and factorisations differ,
+    and both reduce to the base chain by the scalar ``s``.
+    """
+
+    def __init__(self, base: AdjacencyOps, s: complex):
+        self.pc = _ScaledChain(base.pc, s)  # gemm moves: scaled blocks
+        self._base = base
+        self._s = s
+        # Parent LU caches stay empty: factors delegate to the base ops.
+        self._lu: dict[int, kr.LUFactors] = {}
+        self._lu_t: dict[int, kr.LUFactors] = {}
+
+    def _factor(self, i: int):
+        return _ScaledLU(self._base._factor(i), self._s)
+
+    def _factor_t(self, i: int):
+        return _ScaledLU(self._base._factor_t(i), self._s)
+
+
+@dataclass
+class SpectralResult:
+    """Selected resolvent blocks over a whole :class:`OmegaGrid`.
+
+    ``blocks[(k, l)]`` stacks the selected block ``G(z_j)_{kl}`` over
+    the grid: shape ``(n_omega, N, N)``, complex.  ``rungs[j]`` records
+    the solve path that served shift ``j`` (``"factored"`` for the
+    shared-factorisation fast path, else the ladder rung name).
+    """
+
+    grid: OmegaGrid
+    selection: Selection
+    blocks: dict[tuple[int, int], np.ndarray]
+    rungs: list[str] = field(default_factory=list)
+
+    @property
+    def n_omega(self) -> int:
+        return self.grid.n
+
+    def block(self, k: int, l: int) -> np.ndarray:
+        return self.blocks[(k, l)]
+
+
+def _count_shift(rung: str) -> None:
+    _telemetry.registry().counter(
+        "repro_spectral_shifts_total",
+        "Resolvent shifts solved, by serving rung",
+        labels=("rung",),
+    ).labels(rung=rung).inc()
+
+
+class ResolventFactor:
+    """One factorisation of ``M``, reusable across an entire omega-grid.
+
+    Parameters
+    ----------
+    pc:
+        The unshifted block p-cyclic matrix (real or complex).
+    c:
+        Cluster size for the CLS reduction (must divide ``L``).
+    pattern:
+        Which blocks of ``G(z)`` each shift produces.  Defaults to
+        ``DIAGONAL`` — the cheapest pattern and the one spectral
+        functions consume.
+    q:
+        Cluster offset in ``{0..c-1}``.  Deterministic (no drawn
+        default): spectral results are content-addressed by the
+        service, so the same request must do the same work.
+    guards:
+        Optional :class:`~repro.resilience.guards.GuardConfig`.  When
+        set, every shift runs the complex-capable guard battery
+        (finiteness screens, reduced-chain condition estimates, seed
+        identity residuals); a trip retries that shift through
+        :func:`~repro.core.fsi.fsi_resilient`'s fallback ladder.
+    num_threads:
+        Team size for the one-time CLS stage (sweeps parallelise over
+        shifts instead; see :meth:`sweep`).
+    """
+
+    def __init__(
+        self,
+        pc: BlockPCyclic,
+        c: int,
+        pattern: Pattern = Pattern.DIAGONAL,
+        q: int = 0,
+        guards: GuardConfig | None = None,
+        num_threads: int | None = None,
+    ):
+        if c < 1 or pc.L % c != 0:
+            raise ValueError(f"c={c} must be a positive divisor of L={pc.L}")
+        if not 0 <= q < c:
+            raise ValueError(f"q={q} must be in [0, {c})")
+        self.pc = pc
+        self.c = c
+        self.q = q
+        self.pattern = pattern
+        self.guards = guards
+        self.selection = Selection(pattern, L=pc.L, c=c, q=q)
+        report = GuardReport() if guards is not None else None
+        with _telemetry.span(
+            "spectral.factor", L=pc.L, N=pc.N, c=c, pattern=pattern.name
+        ):
+            if guards is not None and guards.screen_input:
+                _guards.screen_finite("input", pc.B, report=report)
+            # CLS of the *unshifted* chain: scalars commute through the
+            # cluster products, so the shifted reduced chain is just
+            # s(z)^c times these blocks — computed once, scaled per shift.
+            reduced = cls(pc, c, q, num_threads=num_threads)
+            if guards is not None and guards.screen_stages:
+                _guards.screen_finite("cls", reduced.B, report=report)
+            self._reduced_B = np.ascontiguousarray(
+                reduced.B.astype(np.complex128)
+            )
+            # Base adjacency operator over a complexified copy of the
+            # chain: its LU caches are filled on first use and serve
+            # every shift through _ScaledLU (complex RHS needs complex
+            # factors, hence the one-time astype).
+            self._base_ops = AdjacencyOps(
+                BlockPCyclic(np.ascontiguousarray(pc.B.astype(np.complex128)))
+            )
+
+    # -- one shift -----------------------------------------------------
+    def _solve_factored(
+        self, z: complex, num_threads: int | None
+    ) -> SelectedInversion:
+        guards = self.guards
+        report = GuardReport() if guards is not None else None
+        d, s = shift_scale(z)
+        reduced_z = BlockPCyclic(self._reduced_B * s**self.c)
+        if guards is not None:
+            if guards.screen_stages:
+                _guards.screen_finite("cls", reduced_z.B, report=report)
+            if guards.condition_samples:
+                _guards.check_cluster_conditions(reduced_z.B, guards, report)
+        seeds = bsofi(reduced_z)
+        if guards is not None:
+            if guards.screen_stages:
+                _guards.screen_finite("bsofi", seeds, report=report)
+            if guards.residual_samples:
+                _guards.check_seed_residual(reduced_z.B, seeds, guards, report)
+        ops = _ShiftedOps(self._base_ops, s)
+        selected = wrap(
+            self._base_ops.pc, seeds, self.selection,
+            num_threads=num_threads, ops=ops,
+        )
+        # G(z) = M~(z)^{-1} / (z-1); wrap outputs are fresh per-shift
+        # arrays, so the scale is safe in place.
+        inv_d = 1.0 / d
+        for _, blk in selected.items():
+            blk *= inv_d
+        if guards is not None and guards.screen_stages:
+            blocks = [selected[kl] for kl in selected]
+            picked = _guards.sample_indices(
+                len(blocks), guards.result_screen_samples
+            )
+            _guards.screen_finite(
+                "result", *(blocks[i] for i in picked), report=report
+            )
+        return selected
+
+    def solve_shift(
+        self, z: complex, num_threads: int | None = None
+    ) -> tuple[SelectedInversion, str]:
+        """Selected blocks of ``G(z)`` plus the serving rung.
+
+        The rung is ``"factored"`` on the shared-factorisation fast
+        path; with guards enabled, a numerical-health trip (a shift too
+        close to an eigenvalue for the requested cluster factor) falls
+        back to the full resilience ladder on the shifted chain and
+        returns that ladder's rung instead.
+        """
+        if self.guards is None:
+            return self._solve_factored(z, num_threads), "factored"
+        try:
+            return self._solve_factored(z, num_threads), "factored"
+        except (NumericalHealthError, OverflowError):
+            # OverflowError: ``s(z)^c`` left double range (a shift
+            # pathologically close to z=1) before any screen could see
+            # an array — same illness, same ladder.
+            pc_z, d = shifted_pcyclic(self.pc, z)
+            result = fsi_resilient(
+                pc_z, self.c, self.pattern, q=self.q,
+                num_threads=num_threads, guards=self.guards,
+            )
+            inv_d = 1.0 / d
+            for _, blk in result.selected.items():
+                blk *= inv_d
+            return result.selected, result.rung
+
+    # -- the grid ------------------------------------------------------
+    def sweep(
+        self, grid: OmegaGrid, num_threads: int | None = None
+    ) -> SpectralResult:
+        """Solve every shift of ``grid``, parallelised across shifts.
+
+        Shifts are data-independent given the shared factorisation, so
+        the team parallelises the *grid* loop (each per-shift solve runs
+        single-threaded — at spectral block sizes the reduced chain is
+        far too small to split further).
+        """
+        zs = grid.z
+        n = grid.n
+        results: list[SelectedInversion | None] = [None] * n
+        rungs = [""] * n
+        with _telemetry.span(
+            "spectral.sweep", n_omega=n, pattern=self.pattern.name,
+            L=self.pc.L, N=self.pc.N, c=self.c,
+        ):
+            def body(j: int) -> None:
+                selected, rung = self.solve_shift(zs[j], num_threads=1)
+                results[j] = selected
+                rungs[j] = rung
+                _count_shift(rung)
+
+            parallel_for(body, n, num_threads=num_threads)
+        blocks = {
+            kl: np.ascontiguousarray(np.stack([res[kl] for res in results]))
+            for kl in self.selection.block_indices()
+        }
+        return SpectralResult(
+            grid=grid, selection=self.selection, blocks=blocks, rungs=rungs
+        )
+
+
+def spectral_sweep_flops(
+    L: int, N: int, c: int, pattern: Pattern, n_omega: int
+) -> float:
+    """Closed-form factor-once sweep cost.
+
+    One CLS (``2b(c-1)N^3``) plus ``n_omega`` per-shift solves (BSOFI of
+    the ``b``-block reduced chain + pattern wrapping).  Compare with the
+    naive ``n_omega * fsi_flops(...)`` to see why the sweep amortises:
+    the whole CLS term drops out of the per-shift cost.
+    """
+    b = L // c
+    per_shift = bsofi_flops(b, N) + wrap_flops(L, N, c, pattern)
+    return cls_flops(L, N, c) + n_omega * per_shift

@@ -282,10 +282,12 @@ class TestFingerprintVersion:
         after = make_job(field).fingerprint
         assert before != after
 
-    def test_current_version_is_two(self):
+    def test_current_version_is_three(self):
+        # v2 added JobResult.h for delta bases; v3 added the
+        # equal_time/spectral workload marker to the digest.
         from repro.service.job import _FINGERPRINT_VERSION
 
-        assert _FINGERPRINT_VERSION == 2
+        assert _FINGERPRINT_VERSION == 3
 
 
 # ----------------------------------------------------------------------
